@@ -1,0 +1,55 @@
+"""Shared fixtures and helpers for the experiment benchmarks.
+
+Each module in this directory regenerates one of the paper's tables or
+figures (see DESIGN.md §4).  The benchmarks use ``benchmark.pedantic``
+with a single round — these are *experiment regenerators*, not
+micro-benchmarks — and store their result rows in
+``benchmark.extra_info`` so ``--benchmark-json`` output carries the
+reproduced numbers.  Run with ``-s`` to see the paper-style tables.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro.analysis.service_model import ScrubServiceModel
+from repro.disk import hitachi_ultrastar_15k450
+from repro.traces import generate_trace
+from repro.traces.catalog import trace_idle_intervals
+
+
+@functools.lru_cache(maxsize=64)
+def cached_trace(name: str, duration: float, seed: int = 0, rate_scale: float = 1.0):
+    return generate_trace(name, duration=duration, seed=seed, rate_scale=rate_scale)
+
+
+@functools.lru_cache(maxsize=64)
+def cached_idle(name: str, duration: float, seed: int = 0):
+    trace = cached_trace(name, duration, seed)
+    _, durations = trace_idle_intervals(name, trace)
+    return trace, durations
+
+
+@pytest.fixture(scope="session")
+def ultrastar():
+    return hitachi_ultrastar_15k450()
+
+
+@pytest.fixture(scope="session")
+def service_model(ultrastar):
+    return ScrubServiceModel.from_spec(ultrastar)
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under the benchmark fixture."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def show(title, header, rows):
+    """Print a paper-style table (visible with ``pytest -s``)."""
+    print(f"\n=== {title} ===")
+    print(header)
+    for row in rows:
+        print(row)

@@ -1,0 +1,57 @@
+"""Ablation — CFQ's Idle-class gate threshold.
+
+The paper notes CFQ's 10 ms gate is a fixed, workload-oblivious knob
+(and that tuning it "did not seem to affect" the real scheduler).
+This ablation sweeps the gate on the simulated stack: small gates let
+the scrubber slip into sub-millisecond foreground gaps (hurting the
+foreground), large gates starve the scrubber — with no single value
+good for both, which is exactly the gap the Waiting policy's
+workload-derived threshold fills.
+"""
+
+import pytest
+
+from conftest import run_once, show
+from repro.analysis.impact import ScrubberSetup, run_impact_experiment
+
+GATES_MS = [0.0, 1.0, 5.0, 10.0, 50.0, 200.0]
+HORIZON = 15.0
+
+
+def measure(ultrastar):
+    results = {}
+    baseline = run_impact_experiment(
+        ultrastar, "sequential", horizon=HORIZON
+    ).foreground_mbps
+    for gate_ms in GATES_MS:
+        out = run_impact_experiment(
+            ultrastar, "sequential", scrubber=ScrubberSetup(),
+            horizon=HORIZON, idle_gate=gate_ms / 1e3,
+        )
+        results[gate_ms] = (out.foreground_mbps, out.scrubber_mbps)
+    return baseline, results
+
+
+def test_abl_idle_gate_tradeoff(benchmark, ultrastar):
+    baseline, results = run_once(benchmark, lambda: measure(ultrastar))
+    benchmark.extra_info["baseline_fg_mbps"] = baseline
+    benchmark.extra_info["by_gate"] = {
+        str(k): list(v) for k, v in results.items()
+    }
+    show(
+        "Ablation: CFQ idle gate sweep (sequential foreground)",
+        f"{'gate':>8}{'foreground':>12}{'scrubber':>10}",
+        [
+            f"{gate:>6.0f}ms{fg:>12.2f}{scrub:>10.2f}"
+            for gate, (fg, scrub) in results.items()
+        ],
+    )
+    # Gate 0: scrubber fills every gap, foreground suffers visibly.
+    assert results[0.0][0] < 0.8 * baseline
+    assert results[0.0][1] > results[10.0][1]
+    # Large gates protect the foreground fully but choke the scrubber.
+    assert results[200.0][0] > 0.9 * baseline
+    assert results[200.0][1] < 0.7 * results[10.0][1]
+    # Scrub throughput decreases monotonically with the gate.
+    scrubs = [results[g][1] for g in GATES_MS]
+    assert all(b <= a * 1.15 for a, b in zip(scrubs, scrubs[1:]))

@@ -1,0 +1,69 @@
+"""Fig. 4 — SCSI VERIFY service times vs request size, three drives.
+
+Paper: service times stay almost constant for requests up to 64 KB
+(positioning dominates) and grow roughly linearly beyond (transfer
+dominates) — e.g. the Ultrastar goes 8.8 ms (1 KB–16 KB) → 10 ms
+(64 KB) → 40 ms (~2 MB).  The flat region is why 64 KB is the natural
+*floor* for scrub request sizes.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once, show
+from repro.analysis.throughput import verify_response_times
+from repro.disk import (
+    fujitsu_map3367np,
+    fujitsu_max3073rc,
+    hitachi_ultrastar_15k450,
+)
+
+SIZES_KB = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096]
+DRIVES = [
+    ("Hitachi Ultrastar 15K (SAS)", hitachi_ultrastar_15k450),
+    ("Fujitsu MAX3073RC (SAS)", fujitsu_max3073rc),
+    ("Fujitsu MAP3367NP (SCSI)", fujitsu_map3367np),
+]
+
+
+def measure():
+    results = {}
+    for label, factory in DRIVES:
+        times = [
+            float(
+                np.mean(
+                    verify_response_times(
+                        factory(), kb * 1024, pattern="random", samples=50
+                    )
+                )
+                * 1e3
+            )
+            for kb in SIZES_KB
+        ]
+        results[label] = times
+    return results
+
+
+def test_fig04_verify_service_times(benchmark):
+    results = run_once(benchmark, measure)
+    benchmark.extra_info["service_ms"] = results
+    show(
+        "Fig. 4: SCSI VERIFY service time (ms) vs request size",
+        " " * 30 + " ".join(f"{s:>6d}K" for s in SIZES_KB),
+        [
+            f"{label:<30}" + " ".join(f"{t:7.2f}" for t in times)
+            for label, times in results.items()
+        ],
+    )
+    for label, times in results.items():
+        times = np.array(times)
+        flat = times[: SIZES_KB.index(64) + 1]
+        # Flat within ~25% up to 64 KB...
+        assert flat.max() <= 1.25 * flat.min(), label
+        # ...then clearly growing: 1 MB and 4 MB cost much more.
+        assert times[SIZES_KB.index(1024)] > 1.8 * flat.min(), label
+        assert times[SIZES_KB.index(4096)] > 4.0 * flat.min(), label
+    # The 10k rpm SCSI disk is slower than the 15k SAS drives.
+    assert results["Fujitsu MAP3367NP (SCSI)"][0] > results[
+        "Hitachi Ultrastar 15K (SAS)"
+    ][0]

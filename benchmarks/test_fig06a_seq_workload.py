@@ -1,0 +1,101 @@
+"""Fig. 6a — scrubbing impact on the sequential synthetic workload.
+
+Paper: CFQ Idle-class back-to-back scrubbing achieves the highest
+combined throughput but costs the foreground ~20%; fixed delays >=16 ms
+restore the foreground at the cost of crippling the scrubber
+(throughput ~ 64 KB / (service + delay): 4.9, 3.0, 1.5, 0.9, 0.5,
+0.2 MB/s for 8..256 ms); staggered and sequential scrubbers behave
+identically at 128 regions.
+
+Our CFQ model dispatches the Idle class only through genuinely idle
+periods (single-server drive, no NCQ overlap), so the CFQ column's
+scrub throughput is lower than the paper's measured 9.2 MB/s; the
+foreground-protection ordering is preserved.  See EXPERIMENTS.md.
+"""
+
+import pytest
+
+from conftest import run_once, show
+from repro.analysis.impact import ScrubberSetup, run_impact_experiment
+from repro.sched.request import PriorityClass
+
+HORIZON = 20.0
+DELAYS_MS = [0, 8, 16, 32, 64, 128, 256]
+WORKLOAD = "sequential"
+
+
+def measure(workload, ultrastar):
+    alone = run_impact_experiment(ultrastar, workload, horizon=HORIZON)
+    results = {"None": (alone.foreground_mbps,)}
+    results["CFQ"] = {}
+    for alg in ("sequential", "staggered"):
+        cfg = ScrubberSetup(algorithm=alg, priority=PriorityClass.IDLE)
+        out = run_impact_experiment(
+            ultrastar, workload, scrubber=cfg, horizon=HORIZON
+        )
+        results["CFQ"][alg] = (out.foreground_mbps, out.scrubber_mbps)
+    for delay_ms in DELAYS_MS:
+        entry = {}
+        for alg in ("sequential", "staggered"):
+            cfg = ScrubberSetup(
+                algorithm=alg, priority=PriorityClass.BE,
+                delay=delay_ms / 1e3,
+            )
+            out = run_impact_experiment(
+                ultrastar, workload, scrubber=cfg, horizon=HORIZON
+            )
+            entry[alg] = (out.foreground_mbps, out.scrubber_mbps)
+        results[f"{delay_ms}ms"] = entry
+    return results
+
+
+def check_and_show(results, title):
+    rows = [f"{'None':<8} fg={results['None'][0]:6.2f}"]
+    for key, entry in results.items():
+        if key == "None":
+            continue
+        seq_fg, seq_scrub = entry["sequential"]
+        stag_fg, stag_scrub = entry["staggered"]
+        rows.append(
+            f"{key:<8} fg={seq_fg:6.2f}  scrub(seq)={seq_scrub:5.2f}"
+            f"  scrub(stag)={stag_scrub:5.2f}"
+        )
+    show(title, "config / MB/s", rows)
+
+    baseline = results["None"][0]
+    for key, entry in results.items():
+        if key == "None":
+            continue
+        # Staggered and sequential scrubbing have the same *impact* on
+        # the foreground at 128 regions (the paper's repeated note)...
+        assert entry["staggered"][0] == pytest.approx(
+            entry["sequential"][0], rel=0.12
+        ), key
+        # ...and comparable scrub throughput (staggered is somewhat
+        # faster in our model, as in Fig. 5).
+        ratio = (entry["staggered"][1] + 1e-9) / (entry["sequential"][1] + 1e-9)
+        assert 0.7 < ratio < 1.6, key
+    # 0 ms delay at Default priority crushes the foreground...
+    assert results["0ms"]["sequential"][0] < 0.75 * baseline
+    # ...while delays >= 16 ms essentially restore it but cap the
+    # scrubber at ~64KB/delay.
+    for delay_ms in (16, 32, 64, 128, 256):
+        entry = results[f"{delay_ms}ms"]["sequential"]
+        assert entry[0] > 0.85 * baseline, delay_ms
+        cap = 65536 / (delay_ms / 1e3) / 1e6
+        assert entry[1] < cap, delay_ms
+    # Scrub throughput falls monotonically with the delay.
+    ladder = [results[f"{d}ms"]["sequential"][1] for d in DELAYS_MS]
+    assert all(b <= a * 1.1 for a, b in zip(ladder, ladder[1:]))
+    # CFQ protects the foreground relative to 0 ms Default.
+    assert results["CFQ"]["sequential"][0] > results["0ms"]["sequential"][0]
+    return results
+
+
+def test_fig06a_sequential_workload(benchmark, ultrastar):
+    results = run_once(benchmark, lambda: measure(WORKLOAD, ultrastar))
+    benchmark.extra_info["results"] = {
+        k: list(v) if k == "None" else {a: list(t) for a, t in v.items()}
+        for k, v in results.items()
+    }
+    check_and_show(results, "Fig. 6a: sequential foreground workload")

@@ -1,0 +1,50 @@
+"""Fig. 6b — scrubbing impact on the random synthetic workload.
+
+Same experiment as Fig. 6a with a random 64 KB foreground: the paper
+notes the same overall pattern, with the random workload's seeking
+additionally decreasing the scrubber's throughput — which is the
+extra assertion here.
+"""
+
+import pytest
+
+from conftest import run_once, show
+from test_fig06a_seq_workload import DELAYS_MS, measure
+
+
+def test_fig06b_random_workload(benchmark, ultrastar):
+    results = run_once(benchmark, lambda: measure("random", ultrastar))
+    benchmark.extra_info["results"] = {
+        k: list(v) if k == "None" else {a: list(t) for a, t in v.items()}
+        for k, v in results.items()
+    }
+    rows = [f"{'None':<8} fg={results['None'][0]:6.2f}"]
+    for key, entry in results.items():
+        if key == "None":
+            continue
+        rows.append(
+            f"{key:<8} fg={entry['sequential'][0]:6.2f}"
+            f"  scrub(seq)={entry['sequential'][1]:5.2f}"
+            f"  scrub(stag)={entry['staggered'][1]:5.2f}"
+        )
+    show("Fig. 6b: random foreground workload", "config / MB/s", rows)
+
+    baseline = results["None"][0]
+    # The light random foreground leaves long idle gaps, so the delay
+    # ladder hits the paper's 64KB/(delay+service) values closely:
+    # 3.0, 1.5, 0.9, 0.5, 0.2 MB/s for 16..256 ms.
+    expected = {16: 3.0, 32: 1.5, 64: 0.9, 128: 0.5, 256: 0.2}
+    for delay_ms, paper_value in expected.items():
+        ours = results[f"{delay_ms}ms"]["sequential"][1]
+        assert ours == pytest.approx(paper_value, rel=0.35), delay_ms
+    # Foreground restored at >= 16 ms delays, hurt at 0 ms.
+    assert results["0ms"]["sequential"][0] < 0.8 * baseline
+    for delay_ms in (16, 32, 64, 128, 256):
+        assert results[f"{delay_ms}ms"]["sequential"][0] > 0.9 * baseline
+    # Staggered impact on the foreground equals sequential impact.
+    for key, entry in results.items():
+        if key == "None":
+            continue
+        assert entry["staggered"][0] == pytest.approx(
+            entry["sequential"][0], rel=0.12
+        ), key

@@ -1,0 +1,56 @@
+"""Fig. 8 — request activity per hour over several days (four disks).
+
+Paper: all four representative traces show repeating patterns, most
+with spikes at 24 h intervals — visible structure in requests/hour
+over a week.  We regenerate the hourly counts for the same four disks
+and check the repetition quantitatively (correlation between
+consecutive days' hourly profiles).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once, show
+from repro.traces import generate_trace
+
+DISKS = ["MSRsrc11", "MSRusr1", "HPc6t5d1", "HPc6t8d0"]
+DAYS = 4
+
+
+def measure():
+    counts = {}
+    for name in DISKS:
+        trace = generate_trace(
+            name, duration=DAYS * 86400.0, rate_scale=0.03, seed=8
+        )
+        counts[name] = trace.requests_per_bin(3600.0)[: DAYS * 24]
+    return counts
+
+
+def day_over_day_correlation(hourly):
+    days = hourly[: (len(hourly) // 24) * 24].reshape(-1, 24).astype(float)
+    correlations = [
+        np.corrcoef(days[i], days[i + 1])[0, 1] for i in range(len(days) - 1)
+    ]
+    return float(np.mean(correlations))
+
+
+def test_fig08_hourly_activity(benchmark):
+    counts = run_once(benchmark, measure)
+    benchmark.extra_info["hourly_counts"] = {
+        k: v.tolist() for k, v in counts.items()
+    }
+    rows = []
+    for name, hourly in counts.items():
+        day0 = " ".join(f"{c:5d}" for c in hourly[:24:3])
+        rows.append(f"{name:<10} day-1 sample: {day0}")
+    show("Fig. 8: requests per hour (every 3rd hour of day 1)", "", rows)
+
+    for name, hourly in counts.items():
+        assert hourly.sum() > 1000, name
+        correlation = day_over_day_correlation(hourly)
+        # Day-over-day hourly profiles repeat strongly.
+        assert correlation > 0.5, (name, correlation)
+        # The diurnal swing is large (busy hours >> quiet hours).
+        days = hourly.reshape(-1, 24).astype(float).mean(axis=0)
+        assert days.max() > 3 * max(days.min(), 1.0), name

@@ -1,0 +1,93 @@
+"""Fig. 9 — ANOVA-detected periods for the busiest 63 disks.
+
+Paper: across the busiest 63 traces, ANOVA detects a period for most
+disks, most commonly 24 hours; a result of one hour means no
+periodicity.  We build a 63-disk population like the paper's (the
+catalog disks plus parameterised variants: mostly diurnal, some with
+12 h harmonics, some aperiodic) and check the detected-period
+histogram has the paper's shape: a strong 24 h mode, a minority of
+other periods, and a few no-period disks.
+"""
+
+import collections
+
+import pytest
+
+from conftest import run_once, show
+from repro.sim import RandomStreams
+from repro.stats import anova_period
+from repro.traces.synth import (
+    FLAT,
+    NIGHTLY_BATCH,
+    OFFICE_HOURS,
+    SyntheticTraceGenerator,
+    TraceProfile,
+)
+
+DAYS = 4
+HALF_DAY = tuple(
+    1.0 + 1.6 * (1 if (h % 12) in (2, 3, 4) else 0) for h in range(24)
+)
+
+
+def build_population():
+    """63 disk profiles: ~70% diurnal, ~15% 12 h, ~15% aperiodic."""
+    population = []
+    for index in range(63):
+        if index % 7 == 5:
+            hourly, expected = FLAT, 1
+        elif index % 7 == 6:
+            hourly, expected = HALF_DAY, 12
+        elif index % 2:
+            hourly, expected = OFFICE_HOURS, 24
+        else:
+            hourly, expected = NIGHTLY_BATCH, 24
+        profile = TraceProfile(
+            name=f"disk{index:02d}",
+            duration=DAYS * 86400.0,
+            idle_gap_mean=0.2 + 0.05 * (index % 5),
+            idle_gap_cov=8.0 + 2.0 * (index % 7),
+            burst_len_mean=1 + index % 4,
+            intra_gap_mean=0.002,
+            hourly_profile=hourly,
+        )
+        population.append((profile, expected))
+    return population
+
+
+def measure():
+    streams = RandomStreams(seed=63)
+    outcomes = []
+    for profile, expected in build_population():
+        trace = SyntheticTraceGenerator(
+            profile, streams.get(profile.name)
+        ).generate()
+        result = anova_period(trace.requests_per_bin(3600.0), max_period=30)
+        outcomes.append((profile.name, expected, result.period))
+    return outcomes
+
+
+def test_fig09_anova_periods(benchmark):
+    outcomes = run_once(benchmark, measure)
+    histogram = collections.Counter(period for _, _, period in outcomes)
+    benchmark.extra_info["histogram"] = dict(histogram)
+    show(
+        "Fig. 9: detected periods over 63 disks",
+        "period (h): count",
+        [f"{period:>3d} h: {count}" for period, count in sorted(histogram.items())],
+    )
+
+    # 24 h is the dominant detected period, as in the paper.
+    assert histogram.most_common(1)[0][0] == 24
+    assert histogram[24] >= 30
+    # Some disks show no periodicity (reported as 1 h).
+    assert histogram.get(1, 0) >= 3
+    # Per-disk accuracy: diurnal disks are overwhelmingly detected at
+    # 24 h (or a 24 h multiple the four-day window supports).
+    diurnal = [o for o in outcomes if o[1] == 24]
+    correct = sum(1 for _, _, period in diurnal if period % 24 == 0)
+    assert correct >= 0.8 * len(diurnal)
+    # Aperiodic disks are rarely assigned strong periods.
+    flat = [o for o in outcomes if o[1] == 1]
+    false_alarms = sum(1 for _, _, period in flat if period != 1)
+    assert false_alarms <= len(flat) // 2

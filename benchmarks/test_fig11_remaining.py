@@ -1,0 +1,61 @@
+"""Fig. 11 — expected remaining idle time vs idle time already passed.
+
+Paper: for all Cello/MSR traces the curves are continuously
+*increasing* — having been idle a long time raises the expected
+remaining idle time by orders of magnitude (decreasing hazard rates).
+The TPC-C traces are flat (memoryless).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import cached_idle, run_once, show
+from repro.stats import expected_remaining
+
+HEAVY = ["MSRsrc11", "MSRusr1", "HPc6t5d1", "HPc6t8d0"]
+TAUS = np.array([1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0])
+DURATION = 4 * 3600.0
+
+
+def measure():
+    curves = {}
+    for name in HEAVY:
+        _, durations = cached_idle(name, DURATION)
+        curves[name] = expected_remaining(durations, TAUS)
+    _, tpcc = cached_idle("TPCdisk66", 1200.0)
+    curves["TPCdisk66"] = expected_remaining(
+        tpcc, np.array([1e-4, 5e-4, 1e-3, 2e-3])
+    )
+    return curves
+
+
+def test_fig11_expected_remaining_idle(benchmark):
+    curves = run_once(benchmark, measure)
+    benchmark.extra_info["curves"] = {
+        k: [None if np.isnan(x) else float(x) for x in v]
+        for k, v in curves.items()
+    }
+    show(
+        "Fig. 11: E[remaining idle | idle >= tau] (s)",
+        f"{'trace':<12}" + "".join(f"{t:>10.4g}" for t in TAUS),
+        [
+            f"{name:<12}"
+            + "".join(
+                f"{v:>10.3f}" if np.isfinite(v) else f"{'n/a':>10}"
+                for v in curve
+            )
+            for name, curve in curves.items()
+            if name != "TPCdisk66"
+        ],
+    )
+
+    for name in HEAVY:
+        curve = curves[name]
+        finite = curve[np.isfinite(curve)]
+        # Continuously increasing, spanning orders of magnitude.
+        assert np.all(np.diff(finite) > 0), name
+        assert finite[-1] > 20 * finite[0], name
+    # TPC-C: flat within noise (memoryless).
+    tpcc = curves["TPCdisk66"]
+    finite = tpcc[np.isfinite(tpcc)]
+    assert finite.max() < 3 * finite.min()

@@ -1,0 +1,66 @@
+"""Fig. 13 — fraction of idle time still usable after waiting.
+
+Paper: waiting ~100 ms before firing still leaves 60–90% of the total
+idle time usable (depending on the trace), while selecting fewer than
+10% of the idle intervals — the quantitative case for the Waiting
+policy.  TPC-C, memoryless, loses essentially everything by waiting.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import cached_idle, run_once, show
+from repro.stats import fraction_intervals_longer, usable_fraction
+
+HEAVY = ["MSRsrc11", "MSRusr1", "HPc6t5d1", "HPc6t8d0"]
+TAUS = np.array([1e-3, 1e-2, 1e-1, 1.0, 10.0])
+DURATION = 4 * 3600.0
+
+
+def measure():
+    results = {}
+    for name in HEAVY:
+        _, durations = cached_idle(name, DURATION)
+        results[name] = {
+            "usable": usable_fraction(durations, TAUS),
+            "selected": fraction_intervals_longer(durations, TAUS),
+        }
+    _, tpcc = cached_idle("TPCdisk66", 1200.0)
+    results["TPCdisk66"] = {
+        "usable": usable_fraction(tpcc, TAUS),
+        "selected": fraction_intervals_longer(tpcc, TAUS),
+    }
+    return results
+
+
+def test_fig13_usable_idle_after_waiting(benchmark):
+    results = run_once(benchmark, measure)
+    benchmark.extra_info["curves"] = {
+        k: {kk: vv.tolist() for kk, vv in v.items()}
+        for k, v in results.items()
+    }
+    show(
+        "Fig. 13: usable idle fraction after waiting tau",
+        f"{'trace':<12}" + "".join(f"{t:>9.4g}" for t in TAUS),
+        [
+            f"{name:<12}"
+            + "".join(f"{v:>9.1%}" for v in r["usable"])
+            for name, r in results.items()
+        ],
+    )
+    for name in HEAVY:
+        usable = results[name]["usable"]
+        selected = results[name]["selected"]
+        at_100ms = TAUS.tolist().index(0.1)
+        # The paper's headline: >= 60% of idle time usable at 100 ms...
+        assert usable[at_100ms] > 0.6, name
+        # ...while only a minority of intervals is selected (the
+        # collision budget).  The paper reports <10%; our synthetic
+        # Cello disks have fewer micro-intervals in the denominator, so
+        # the bound is looser here.
+        assert selected[at_100ms] < 0.35, name
+        assert usable[at_100ms] > 2 * selected[at_100ms], name
+        # Usable fraction decreases with the wait, gracefully.
+        assert np.all(np.diff(usable) <= 1e-12), name
+    # TPC-C loses everything almost immediately.
+    assert results["TPCdisk66"]["usable"][TAUS.tolist().index(0.1)] < 0.01

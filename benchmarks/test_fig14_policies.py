@@ -1,0 +1,137 @@
+"""Fig. 14 — policy comparison: idle utilisation vs collision rate.
+
+Paper (two panels: HPc6t8d0, a worst case with many short intervals,
+and MSRusr2, representative): the simple Waiting policy consistently
+utilises more idle time at a given collision rate than AR and the
+AR+Waiting combinations; pure AR is by far the worst; Lossless Waiting
+(Waiting's selection without the waiting cost) almost coincides with
+the clairvoyant Oracle.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import cached_idle, run_once, show
+from repro.analysis import evaluate_policy, sweep_policy
+from repro.core.policies import (
+    ARPolicy,
+    ARWaitingPolicy,
+    LosslessWaitingPolicy,
+    OraclePolicy,
+    WaitingPolicy,
+)
+from repro.stats.ar import select_ar_order
+
+DISKS = ["HPc6t8d0", "MSRusr2"]
+THRESHOLDS = [0.016, 0.032, 0.064, 0.128, 0.256, 0.512, 1.024, 2.048]
+DURATION = 4 * 3600.0
+
+
+def interpolate_utilisation(points, collision_rate):
+    """Linear interpolation of a policy curve at a collision rate."""
+    rates = np.array([p.collision_rate for p in points])
+    utils = np.array([p.utilisation for p in points])
+    order = np.argsort(rates)
+    return float(np.interp(collision_rate, rates[order], utils[order]))
+
+
+def measure():
+    outcome = {}
+    for name in DISKS:
+        trace, durations = cached_idle(name, DURATION)
+        total = len(trace)
+        model = select_ar_order(durations, max_order=8)
+        predictions = model.predict_series(durations)
+        ar_thresholds = np.percentile(predictions, [10, 30, 50, 70, 90])
+
+        waiting = sweep_policy(
+            lambda t: WaitingPolicy(t), THRESHOLDS, durations, total
+        )
+        lossless = sweep_policy(
+            lambda t: LosslessWaitingPolicy(t), THRESHOLDS, durations, total
+        )
+        ar = sweep_policy(
+            lambda c: ARPolicy(c, model=model), ar_thresholds, durations, total
+        )
+        combined = {
+            f"AR({pct}th)+Waiting": sweep_policy(
+                lambda t, c=c: ARWaitingPolicy(t, c, model=model),
+                THRESHOLDS,
+                durations,
+                total,
+            )
+            for pct, c in zip(
+                (20, 40, 60, 80), np.percentile(predictions, [20, 40, 60, 80])
+            )
+        }
+        budgets = sorted(
+            {p.collisions / len(durations) for p in waiting if p.collisions}
+        )
+        oracle = sweep_policy(
+            lambda b: OraclePolicy(b), budgets, durations, total
+        )
+        outcome[name] = {
+            "waiting": waiting,
+            "lossless": lossless,
+            "ar": ar,
+            "combined": combined,
+            "oracle": oracle,
+        }
+    return outcome
+
+
+def test_fig14_policy_comparison(benchmark):
+    outcome = run_once(benchmark, measure)
+    info = {}
+    for name, curves in outcome.items():
+        rows = []
+        for label, points in (
+            ("Waiting", curves["waiting"]),
+            ("Lossless", curves["lossless"]),
+            ("AR", curves["ar"]),
+            ("Oracle", curves["oracle"]),
+        ):
+            rows.append(
+                f"{label:<10}"
+                + "  ".join(
+                    f"({p.collision_rate:.4f},{p.utilisation:.2f})"
+                    for p in points[:6]
+                )
+            )
+        show(f"Fig. 14 [{name}]: (collision rate, utilisation)", "", rows)
+        info[name] = {
+            label: [
+                (p.collision_rate, p.utilisation) for p in curves[label]
+            ]
+            for label in ("waiting", "lossless", "ar", "oracle")
+        }
+    benchmark.extra_info["curves"] = info
+
+    for name, curves in outcome.items():
+        waiting = curves["waiting"]
+        # 1. Waiting beats AR: at every AR point's collision rate, the
+        # interpolated Waiting curve utilises at least as much idle time.
+        for point in curves["ar"]:
+            w_util = interpolate_utilisation(waiting, point.collision_rate)
+            assert w_util >= point.utilisation - 0.02, (name, point.label)
+        # 2. Waiting beats (or matches) each AR+Waiting variant.
+        for label, combo in curves["combined"].items():
+            for point in combo:
+                w_util = interpolate_utilisation(
+                    waiting, point.collision_rate
+                )
+                assert w_util >= point.utilisation - 0.03, (name, label)
+        # 3. Lossless Waiting coincides with the Oracle.
+        for lossless_pt in curves["lossless"]:
+            oracle_util = interpolate_utilisation(
+                curves["oracle"], lossless_pt.collision_rate
+            )
+            assert lossless_pt.utilisation == pytest.approx(
+                oracle_util, abs=0.03
+            ), name
+        # 4. The Oracle upper-bounds Waiting.
+        for point in waiting:
+            oracle_util = interpolate_utilisation(
+                curves["oracle"], point.collision_rate
+            )
+            assert oracle_util >= point.utilisation - 0.01, name

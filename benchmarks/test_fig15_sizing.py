@@ -1,0 +1,131 @@
+"""Fig. 15 — Waiting variants: scrub throughput vs mean slowdown.
+
+Paper: at any given mean-slowdown budget, picking one optimal fixed
+request size beats both extremes (64 KB fixed is far below, 4 MB fixed
+is matched only at large budgets) and — surprisingly — beats all the
+adaptive schedules (exponential, linear), which collapse onto the
+maximum-size fixed curve (footnote 5).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import cached_idle, run_once, show
+from repro.analysis.slowdown import (
+    simulate_adaptive_waiting,
+    simulate_fixed_waiting,
+)
+from repro.core.adaptive import ExponentialSchedule, LinearSchedule
+from repro.core.optimizer import ScrubParameterOptimizer
+
+DISK = "HPc6t8d0"
+DURATION = 4 * 3600.0
+THRESHOLDS = [0.016, 0.032, 0.064, 0.128, 0.256, 0.512, 1.024, 2.048, 4.096]
+GOALS_MS = [0.25, 0.5, 1.0, 1.5, 2.0, 3.0]
+
+
+def sweep_fixed(durations, size, service_model, total, span):
+    return [
+        simulate_fixed_waiting(durations, t, size, service_model, total, span)
+        for t in THRESHOLDS
+    ]
+
+
+def sweep_adaptive(durations, schedule, service_model, total, span):
+    return [
+        simulate_adaptive_waiting(
+            durations, t, schedule, service_model, total, span
+        )
+        for t in THRESHOLDS
+    ]
+
+
+def throughput_at_slowdown(results, goal):
+    """Interpolate a (slowdown -> throughput) curve at ``goal``."""
+    slowdowns = np.array([r.mean_slowdown for r in results])
+    throughputs = np.array([r.throughput_mbps for r in results])
+    order = np.argsort(slowdowns)
+    if goal < slowdowns.min():
+        return 0.0
+    return float(np.interp(goal, slowdowns[order], throughputs[order]))
+
+
+def measure(service_model):
+    trace, durations = cached_idle(DISK, DURATION)
+    total, span = len(trace), trace.duration
+    cap = (service_model.max_size_for_slowdown(0.0504) // 65536) * 65536
+
+    curves = {
+        "64KB fixed": sweep_fixed(durations, 65536, service_model, total, span),
+        "4MB fixed": sweep_fixed(
+            durations, 4 * 1024 * 1024, service_model, total, span
+        ),
+        "exponential (a=2)": sweep_adaptive(
+            durations, ExponentialSchedule(65536, 2.0, cap),
+            service_model, total, span,
+        ),
+        "linear (a=2,b=64KB)": sweep_adaptive(
+            durations, LinearSchedule(65536, 2.0, 65536, cap),
+            service_model, total, span,
+        ),
+    }
+    optimizer = ScrubParameterOptimizer(durations, total, span, service_model)
+    optimal = {}
+    for goal_ms in GOALS_MS:
+        try:
+            optimal[goal_ms] = optimizer.optimize(goal_ms / 1e3)
+        except ValueError:
+            optimal[goal_ms] = None
+    return curves, optimal
+
+
+def test_fig15_request_sizing(benchmark, service_model):
+    curves, optimal = run_once(benchmark, lambda: measure(service_model))
+    rows = []
+    table = {}
+    for goal_ms in GOALS_MS:
+        best = optimal[goal_ms]
+        entries = {
+            label: throughput_at_slowdown(results, goal_ms / 1e3)
+            for label, results in curves.items()
+        }
+        best_txt = (
+            f"optimal {best.throughput_mbps:6.1f} MB/s "
+            f"({best.request_bytes // 1024} KB)"
+            if best
+            else "optimal: unattainable"
+        )
+        rows.append(
+            f"goal {goal_ms:5.2f} ms:  "
+            + "  ".join(f"{label}={mbps:6.1f}" for label, mbps in entries.items())
+            + f"  {best_txt}"
+        )
+        table[goal_ms] = {
+            **entries,
+            "optimal": best.throughput_mbps if best else None,
+            "optimal_size_kb": best.request_bytes // 1024 if best else None,
+        }
+    benchmark.extra_info["throughput_by_goal"] = table
+    show("Fig. 15: throughput (MB/s) at mean-slowdown goals", "", rows)
+
+    for goal_ms in GOALS_MS:
+        best = optimal[goal_ms]
+        if best is None:
+            continue
+        entry = table[goal_ms]
+        # The optimal fixed size beats 64 KB fixed everywhere...
+        assert best.throughput_mbps >= entry["64KB fixed"] - 0.5, goal_ms
+        # ...and matches-or-beats every adaptive schedule (within the
+        # interpolation noise of the threshold grid: the paper's claim
+        # is "no adaptive approach outperforms the fixed approach").
+        for label in ("exponential (a=2)", "linear (a=2,b=64KB)", "4MB fixed"):
+            assert best.throughput_mbps >= 0.96 * entry[label], (goal_ms, label)
+    # 64 KB fixed is far below the optimal at moderate budgets (the
+    # paper's ~6x headline at 1-2 ms).
+    assert optimal[1.0].throughput_mbps > 3 * table[1.0]["64KB fixed"]
+    # Adaptive collapses onto the 4 MB fixed curve (footnote 5).
+    for goal_ms in (1.0, 2.0, 3.0):
+        entry = table[goal_ms]
+        assert entry["exponential (a=2)"] == pytest.approx(
+            entry["4MB fixed"], rel=0.2, abs=2.0
+        ), goal_ms

@@ -1,0 +1,69 @@
+"""Table II — idle interval duration analysis per trace.
+
+Paper: Cello/MSR traces have idle-interval CoVs of 8–200 (heavy tails,
+far from exponential), with MSRproj2 the extreme at 200.75; the TPC-C
+traces are essentially exponential (CoV 0.86–0.88, mean 1.4–1.5 ms).
+Absolute synthetic statistics drift from the inputs on finite windows
+because of the heavy tails; the assertions check magnitude and
+ordering rather than exact values (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from conftest import cached_idle, run_once, show
+from repro.stats import summarize_idle
+from repro.traces import CATALOG
+
+DISKS = [
+    "MSRsrc11", "MSRusr1", "MSRproj2", "MSRprn1",
+    "HPc6t8d0", "HPc6t5d1", "HPc6t5d0", "HPc3t3d0",
+    "TPCdisk66", "TPCdisk88",
+]
+DURATION = 4 * 3600.0
+
+
+def measure():
+    rows = {}
+    for name in DISKS:
+        duration = 900.0 if CATALOG[name].profile.memoryless else DURATION
+        trace, durations = cached_idle(name, duration)
+        stats = summarize_idle(durations, span=trace.duration)
+        spec = CATALOG[name]
+        rows[name] = {
+            "mean": stats.mean,
+            "variance": stats.variance,
+            "cov": stats.cov,
+            "paper_mean": spec.paper_idle_mean,
+            "paper_cov": spec.paper_idle_cov,
+        }
+    return rows
+
+
+def test_tab2_idle_interval_stats(benchmark):
+    rows = run_once(benchmark, measure)
+    benchmark.extra_info["stats"] = rows
+    show(
+        "Table II: idle interval duration analysis",
+        f"{'disk':<12}{'mean (s)':>10}{'CoV':>8}{'paper mean':>12}{'paper CoV':>10}",
+        [
+            f"{name:<12}{r['mean']:>10.4f}{r['cov']:>8.1f}"
+            f"{r['paper_mean']:>12.4f}{r['paper_cov']:>10.1f}"
+            for name, r in rows.items()
+        ],
+    )
+
+    for name, r in rows.items():
+        if name.startswith("TPC"):
+            # Memoryless: CoV ~ 1, mean ~ 1.4 ms, both close to the paper.
+            assert 0.7 < r["cov"] < 1.3, name
+            assert r["mean"] == pytest.approx(r["paper_mean"], rel=0.3), name
+        else:
+            # Heavy-tailed: CoV far above exponential's 1.
+            assert r["cov"] > 5.0, name
+            # Mean within a factor ~4 of the paper (finite-window drift).
+            assert 0.2 * r["paper_mean"] < r["mean"] < 4 * r["paper_mean"], name
+    # proj2 is the CoV extreme among the MSR disks, as in the paper.
+    msr = ["MSRsrc11", "MSRusr1", "MSRproj2", "MSRprn1"]
+    assert rows["MSRproj2"]["cov"] == max(rows[n]["cov"] for n in msr)
+    # src11's CoV exceeds usr1's (21.7 vs 8.7 in the paper).
+    assert rows["MSRsrc11"]["cov"] > rows["MSRusr1"]["cov"]

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Tune scrub scheduling for a workload, as in Section V of the paper.
+
+Pipeline, exactly as the paper prescribes (Section V-D): take a short
+trace capturing the workload, extract its idle intervals, compare the
+candidate policies (Fig. 14), then let the optimizer pick the scrub
+request size and wait threshold that maximise throughput under an
+administrator-given mean-slowdown goal (Table III) — and validate the
+chosen parameters with the full-stack Waiting scrubber on a replay.
+
+Run:  python examples/policy_tuning.py [trace-name]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis import evaluate_policy, simulate_fixed_waiting
+from repro.analysis.replay_cdf import replay_with_scrubber
+from repro.analysis.service_model import ScrubServiceModel
+from repro.core.optimizer import ScrubParameterOptimizer
+from repro.core.policies import ARPolicy, OraclePolicy, WaitingPolicy
+from repro.disk import hitachi_ultrastar_15k450
+from repro.traces import generate_trace
+from repro.traces.catalog import trace_idle_intervals
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "MSRusr2"
+    spec = hitachi_ultrastar_15k450()
+
+    print(f"Profiling workload {name}...")
+    trace = generate_trace(name, duration=4 * 3600.0)
+    _, durations = trace_idle_intervals(name, trace)
+    total_requests = len(trace)
+    print(f"  {total_requests:,} requests, {len(durations):,} idle intervals\n")
+
+    # -- Fig. 14 in miniature: who uses idle time best per collision? --
+    print("Policy comparison (utilisation at a ~3% collision rate):")
+    waiting = WaitingPolicy(float(np.percentile(durations, 90)))
+    w = evaluate_policy(waiting, durations, total_requests)
+    ar_preds = ARPolicy(0).predictions(durations)
+    ar = evaluate_policy(
+        ARPolicy(float(np.percentile(ar_preds, 80))), durations, total_requests
+    )
+    oracle = evaluate_policy(
+        OraclePolicy(w.collisions / len(durations)), durations, total_requests
+    )
+    for point in (w, ar, oracle):
+        print(
+            f"  {point.policy:<16} collisions {point.collision_rate:6.3%}  "
+            f"idle time used {point.utilisation:6.1%}"
+        )
+
+    # -- Table III in miniature: optimize (size, threshold) per goal --
+    print("\nMeasuring scrub service times on the drive model...")
+    service_model = ScrubServiceModel.from_spec(spec)
+    optimizer = ScrubParameterOptimizer(
+        durations, total_requests, trace.duration, service_model
+    )
+    print("Optimal parameters per mean-slowdown goal:")
+    chosen = None
+    for goal_ms in (1.0, 2.0, 4.0):
+        best = optimizer.optimize(goal_ms / 1e3)
+        chosen = chosen or best
+        print(
+            f"  goal {goal_ms:4.1f} ms -> wait {best.threshold * 1e3:7.1f} ms, "
+            f"requests {best.request_bytes // 1024:5d} KB, "
+            f"scrub {best.throughput_mbps:6.1f} MB/s"
+        )
+    cfq_like = simulate_fixed_waiting(
+        durations, 0.010, 65536, service_model, total_requests, trace.duration
+    )
+    print(
+        f"  CFQ baseline (10 ms gate, 64 KB): "
+        f"slowdown {cfq_like.mean_slowdown * 1e3:.2f} ms, "
+        f"scrub {cfq_like.throughput_mbps:6.1f} MB/s"
+    )
+
+    # -- validate the 1 ms parameters on the full stack --
+    print("\nValidating the 1 ms parameters with a full-stack replay...")
+    window = trace.window(0.0, 600.0)
+    baseline = replay_with_scrubber(window, spec, horizon=600.0)
+    validated = replay_with_scrubber(
+        window,
+        spec,
+        waiting={
+            "threshold": chosen.threshold,
+            "request_bytes": chosen.request_bytes,
+        },
+        horizon=600.0,
+    )
+    print(
+        f"  measured slowdown {validated.mean_slowdown_vs(baseline) * 1e3:.2f} ms "
+        f"(analytic goal 1.00 ms), scrubbed {validated.scrub_mbps:.1f} MB/s"
+    )
+    print(
+        "  (full-stack slowdown exceeds the analytic goal because a"
+        "\n   collision also delays the burst of requests queued behind"
+        "\n   the first one — tighten the goal to compensate)"
+    )
+
+
+if __name__ == "__main__":
+    main()

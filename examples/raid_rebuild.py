@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Why scrub at all: a RAID-5 rebuild with and without scrubbing.
+
+Builds a 3-disk RAID-5 array of simulated drives, seeds latent sector
+errors on the members, optionally lets a scrubber repair them, then
+fails a disk and rebuilds — counting the unrecoverable sectors the
+rebuild encounters.  This is the data-loss mechanism from the paper's
+introduction, demonstrated on the full stack.
+
+Run:  python examples/raid_rebuild.py
+"""
+
+import numpy as np
+
+from repro.core import Scrubber, SequentialScrub
+from repro.disk import Drive, hitachi_ultrastar_15k450
+from repro.raid import RaidArray, RaidGeometry, RaidLevel
+from repro.sched import BlockDevice, NoopScheduler
+from repro.sim import Simulation
+
+CHUNK_SECTORS = 128  # 64 KB stripe unit
+DISKS = 3
+ERROR_BURSTS = 12
+
+
+def tiny_drive():
+    """A scaled-down member disk so full scrub passes finish quickly."""
+    return Drive(
+        hitachi_ultrastar_15k450().with_overrides(
+            cylinders=600, outer_spt=256, inner_spt=256, num_zones=1, heads=2,
+            average_seek=1.5e-3, full_stroke_seek=3e-3,
+        ),
+        cache_enabled=False,
+    )
+
+
+def build_array(sim):
+    devices = [
+        BlockDevice(sim, tiny_drive(), NoopScheduler()) for _ in range(DISKS)
+    ]
+    disk_sectors = devices[0].drive.total_sectors
+    disk_sectors -= disk_sectors % CHUNK_SECTORS
+    geometry = RaidGeometry(RaidLevel.RAID5, DISKS, CHUNK_SECTORS, disk_sectors)
+    return RaidArray(sim, devices, geometry)
+
+
+def inject_errors(array, rng):
+    """Bursty LSEs on the surviving members (disks 0 and 2)."""
+    for _ in range(ERROR_BURSTS):
+        disk = int(rng.choice([0, 2]))
+        start = int(rng.integers(0, array.geometry.disk_sectors - 64))
+        array.errors.inject(disk, start, int(rng.integers(1, 32)))
+
+
+def run(scrub_first):
+    sim = Simulation()
+    array = build_array(sim)
+    inject_errors(array, np.random.default_rng(42))
+    injected = array.errors.bad_count()
+
+    if scrub_first:
+        for disk in (0, 2):
+            scrubber = Scrubber(
+                sim, array.devices[disk], SequentialScrub(),
+                request_bytes=64 * 1024, max_passes=1,
+            )
+            process = scrubber.start()
+            sim.run(until=process)
+
+    repaired = array.errors_repaired
+    array.fail_disk(1)
+    done = array.rebuild(request_sectors=1024)
+    lost = sim.run(until=done)
+    label = "with a scrub pass first" if scrub_first else "without scrubbing"
+    print(
+        f"{label:<26}: {injected} latent sectors injected, "
+        f"{repaired} repaired by scrubbing, "
+        f"{lost} unrecoverable during rebuild"
+    )
+    return lost
+
+
+def main():
+    print(f"RAID-5, {DISKS} disks, 64 KB chunks; disk 1 fails and rebuilds\n")
+    lost_unscrubbed = run(scrub_first=False)
+    lost_scrubbed = run(scrub_first=True)
+    print(
+        "\nEvery latent error a scrub pass repairs is a sector the rebuild"
+        "\ncannot lose — the paper's case for scrubbing, and for doing it"
+        "\nwith minimal foreground impact (see examples/policy_tuning.py)."
+    )
+    assert lost_scrubbed <= lost_unscrubbed
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Reliability view: how scrub order affects error detection latency.
+
+The point of scrubbing is catching latent sector errors (LSEs) before
+a RAID rebuild trips over them.  This example closes the loop the
+paper motivates with Oprea & Juels' staggered scrubbing: it measures
+scrub throughput for each order on the drive model, injects bursty
+LSEs, and reports the Mean Latent Error Time (MLET) — showing that
+staggered scrubbing detects bursts sooner *without* costing
+throughput once the region count is high enough (Figs. 5a/5b + the
+MLET motivation in one experiment).
+
+Run:  python examples/scrub_campaign.py
+"""
+
+import numpy as np
+
+from repro.analysis.throughput import standalone_scrub_throughput
+from repro.core import SequentialScrub, StaggeredScrub
+from repro.core.mlet import (
+    generate_bursts,
+    mean_latent_error_time,
+    sector_visit_times,
+)
+from repro.disk import hitachi_ultrastar_15k450
+
+#: Scaled-down disk for the MLET computation (keeps arrays small while
+#: preserving the geometry of bursts vs regions).
+TOTAL_SECTORS = 1_000_000
+REQUEST_SECTORS = 128  # 64 KB
+
+
+def main() -> None:
+    spec = hitachi_ultrastar_15k450()
+    rng = np.random.default_rng(2012)
+    bursts = generate_bursts(
+        rng,
+        TOTAL_SECTORS,
+        count=5000,
+        horizon=1e9,
+        mean_length=4000.0,  # LSEs cluster: bursts span many sectors
+        max_length=40_000,
+    )
+
+    print(f"{'scrub order':<22}{'throughput':>12}{'pass time':>12}{'MLET':>10}")
+    rows = [("sequential", SequentialScrub())] + [
+        (f"staggered R={r}", StaggeredScrub(r)) for r in (4, 16, 64, 128, 256)
+    ]
+    sequential_mlet = None
+    for label, algorithm in rows:
+        rate = standalone_scrub_throughput(
+            spec, type(algorithm)() if label == "sequential"
+            else StaggeredScrub(algorithm.regions),
+            request_bytes=REQUEST_SECTORS * 512,
+            horizon=8.0,
+        )
+        visits, pass_duration = sector_visit_times(
+            algorithm, TOTAL_SECTORS, REQUEST_SECTORS, rate
+        )
+        mlet = mean_latent_error_time(visits, pass_duration, bursts)
+        if sequential_mlet is None:
+            sequential_mlet = mlet
+        print(
+            f"{label:<22}{rate / 1e6:>9.1f} MB/s{pass_duration:>10.1f} s"
+            f"{mlet / sequential_mlet:>9.2f}x"
+        )
+
+    print(
+        "\nMLET shown relative to sequential scrubbing. Staggering both"
+        "\nraises throughput (missed-rotation effect, Fig. 5) and cuts the"
+        "\ntime bursty errors stay latent — the paper's case for making"
+        "\nstaggered scrubbing practical."
+    )
+
+
+if __name__ == "__main__":
+    main()

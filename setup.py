@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline build environment has no ``wheel`` package, so PEP 660
+editable installs are unavailable; this shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` use the
+classic ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,285 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Five commands cover the library's main workflows:
+
+* ``generate``  — write a synthetic catalog trace to CSV;
+* ``analyze``   — Section V-A statistics for a trace (idle stats,
+  periodicity, tails, hazard);
+* ``optimize``  — Table III: best (wait threshold, request size) for
+  slowdown goals on a given drive;
+* ``throughput`` — standalone scrub throughput for an algorithm/size;
+* ``mlet``      — MLET by scrub order under bursty LSEs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _load_trace(args):
+    """Trace from --trace (CSV file) or --synthetic (catalog name)."""
+    from repro.traces import generate_trace, read_csv_trace
+
+    if args.trace:
+        return read_csv_trace(args.trace)
+    return generate_trace(
+        args.synthetic, duration=args.duration, seed=args.seed
+    )
+
+
+def _drive_spec(name: str):
+    from repro.disk.models import PRESETS
+
+    if name not in PRESETS:
+        raise SystemExit(
+            f"unknown drive {name!r}; choose from {', '.join(sorted(PRESETS))}"
+        )
+    return PRESETS[name]()
+
+
+def _add_trace_source(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--trace", help="CSV trace file (canonical or MSR dialect)")
+    source.add_argument(
+        "--synthetic",
+        metavar="NAME",
+        help="synthetic catalog trace (e.g. MSRsrc11; see `repro generate --list`)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=4 * 3600.0,
+        help="synthetic trace length in seconds (default 4h)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_generate(args) -> int:
+    from repro.traces import CATALOG, generate_trace, write_csv_trace
+
+    if args.list:
+        for name, spec in sorted(CATALOG.items()):
+            print(f"{name:<12} {spec.collection:<16} {spec.description}")
+        return 0
+    if not args.name or not args.output:
+        raise SystemExit("generate needs --name and --output (or --list)")
+    trace = generate_trace(args.name, duration=args.duration, seed=args.seed)
+    write_csv_trace(trace, args.output)
+    print(f"wrote {len(trace):,} requests ({trace.duration / 3600:.2f} h) to {args.output}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from repro.stats import (
+        anova_period,
+        expected_remaining,
+        has_significant_autocorrelation,
+        summarize_idle,
+        usable_fraction,
+    )
+    from repro.stats.tails import idle_share_of_largest
+    from repro.traces.idle import idle_intervals_from_trace
+
+    trace = _load_trace(args)
+    _, durations = idle_intervals_from_trace(
+        trace, positioning=args.service_ms / 1e3
+    )
+    if len(durations) == 0:
+        print("no idle intervals found (trace saturated under this service model)")
+        return 1
+    stats = summarize_idle(durations, span=trace.duration)
+    print(f"trace: {trace.name or '<unnamed>'}")
+    print(f"  requests: {len(trace):,} over {trace.duration / 3600:.2f} h")
+    print(
+        f"  idle: {stats.count:,} intervals, mean {stats.mean * 1e3:.2f} ms, "
+        f"CoV {stats.cov:.1f} ({'~memoryless' if stats.is_memoryless_like else 'heavy-tailed'})"
+    )
+    print(f"  autocorrelated: {has_significant_autocorrelation(durations)}")
+    print(
+        f"  idle share of largest 15% of intervals: "
+        f"{idle_share_of_largest(durations, 0.15):.0%}"
+    )
+    taus = np.array([1e-3, 1e-2, 1e-1, 1.0])
+    remaining = expected_remaining(durations, taus)
+    usable = usable_fraction(durations, taus)
+    for tau, rem, use in zip(taus, remaining, usable):
+        rem_txt = f"{rem:9.3f} s" if np.isfinite(rem) else "      n/a"
+        print(
+            f"  after {tau * 1e3:7.1f} ms idle: expect {rem_txt} more, "
+            f"{use:.0%} usable"
+        )
+    if trace.duration >= 2 * 86400:
+        result = anova_period(trace.requests_per_bin(3600.0))
+        label = f"{result.period} h" if result.period > 1 else "none"
+        print(f"  ANOVA period: {label}")
+    return 0
+
+
+def cmd_optimize(args) -> int:
+    from repro.analysis.service_model import ScrubServiceModel
+    from repro.analysis.slowdown import simulate_fixed_waiting
+    from repro.core.optimizer import ScrubParameterOptimizer
+    from repro.traces.idle import idle_intervals_from_trace
+
+    trace = _load_trace(args)
+    _, durations = idle_intervals_from_trace(
+        trace, positioning=args.service_ms / 1e3
+    )
+    if len(durations) == 0:
+        print("no idle intervals found; nothing to optimise")
+        return 1
+    spec = _drive_spec(args.drive)
+    print(f"measuring scrub service times on {spec.name}...")
+    model = ScrubServiceModel.from_spec(spec)
+    optimizer = ScrubParameterOptimizer(
+        durations, len(trace), trace.duration, model,
+        max_slowdown=args.max_slowdown_ms / 1e3,
+    )
+    print(f"{'goal':>8}  {'threshold':>10}  {'request':>8}  {'scrub':>10}")
+    for goal_ms in args.goals_ms:
+        try:
+            best = optimizer.optimize(goal_ms / 1e3)
+        except ValueError:
+            print(f"{goal_ms:6.2f}ms  unattainable on this workload")
+            continue
+        print(
+            f"{goal_ms:6.2f}ms  {best.threshold * 1e3:8.1f}ms  "
+            f"{best.request_bytes // 1024:6d}KB  "
+            f"{best.throughput_mbps:8.2f}MB/s"
+        )
+    cfq = simulate_fixed_waiting(
+        durations, 0.010, 65536, model, len(trace), trace.duration
+    )
+    print(
+        f"CFQ-like baseline (10ms gate, 64KB): {cfq.throughput_mbps:.2f} MB/s "
+        f"at {cfq.mean_slowdown * 1e3:.2f} ms mean slowdown"
+    )
+    return 0
+
+
+def cmd_throughput(args) -> int:
+    from repro.analysis import standalone_scrub_throughput
+    from repro.core import SequentialScrub, StaggeredScrub
+
+    spec = _drive_spec(args.drive)
+    if args.algorithm == "sequential":
+        algorithm = SequentialScrub()
+    else:
+        algorithm = StaggeredScrub(args.regions)
+    rate = standalone_scrub_throughput(
+        spec, algorithm, request_bytes=args.request_kb * 1024,
+        horizon=args.horizon, delay=args.delay_ms / 1e3,
+    )
+    full_scan_h = spec.capacity_bytes / rate / 3600 if rate else float("inf")
+    print(
+        f"{spec.name}: {args.algorithm} "
+        f"({args.regions if args.algorithm == 'staggered' else '-'} regions), "
+        f"{args.request_kb} KB requests -> {rate / 1e6:.1f} MB/s "
+        f"(full scan in {full_scan_h:.1f} h)"
+    )
+    return 0
+
+
+def cmd_mlet(args) -> int:
+    from repro.analysis import standalone_scrub_throughput
+    from repro.core import SequentialScrub, StaggeredScrub
+    from repro.core.mlet import (
+        generate_bursts,
+        mean_latent_error_time,
+        sector_visit_times,
+    )
+
+    spec = _drive_spec(args.drive)
+    rng = np.random.default_rng(args.seed)
+    bursts = generate_bursts(
+        rng, args.sectors, count=3000, horizon=1e9,
+        mean_length=args.burst_length, max_length=args.burst_length * 10,
+    )
+    print(f"{'order':<18}{'MB/s':>8}{'pass':>10}{'MLET':>10}")
+    configs = [("sequential", lambda: SequentialScrub())] + [
+        (f"staggered-{r}", lambda r=r: StaggeredScrub(r))
+        for r in args.regions
+    ]
+    for label, factory in configs:
+        rate = standalone_scrub_throughput(
+            spec, factory(), request_bytes=64 * 1024, horizon=5.0
+        )
+        visits, pass_duration = sector_visit_times(
+            factory(), args.sectors, 128, rate
+        )
+        mlet = mean_latent_error_time(visits, pass_duration, bursts)
+        print(
+            f"{label:<18}{rate / 1e6:>8.1f}{pass_duration:>9.1f}s{mlet:>9.1f}s"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Practical Scrubbing (DSN 2012) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="write a synthetic trace to CSV")
+    generate.add_argument("--name", help="catalog trace name")
+    generate.add_argument("--output", "-o", help="output CSV path (.gz ok)")
+    generate.add_argument("--duration", type=float, default=4 * 3600.0)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--list", action="store_true", help="list catalog entries")
+    generate.set_defaults(func=cmd_generate)
+
+    analyze = sub.add_parser("analyze", help="workload statistics (Section V-A)")
+    _add_trace_source(analyze)
+    analyze.add_argument(
+        "--service-ms", type=float, default=4.0,
+        help="nominal per-request positioning time for idle extraction",
+    )
+    analyze.set_defaults(func=cmd_analyze)
+
+    optimize = sub.add_parser(
+        "optimize", help="optimal (threshold, size) per slowdown goal"
+    )
+    _add_trace_source(optimize)
+    optimize.add_argument(
+        "--service-ms", type=float, default=4.0,
+        help="nominal per-request positioning time for idle extraction",
+    )
+    optimize.add_argument("--drive", default="ultrastar")
+    optimize.add_argument(
+        "--goals-ms", type=float, nargs="+", default=[1.0, 2.0, 4.0]
+    )
+    optimize.add_argument("--max-slowdown-ms", type=float, default=50.4)
+    optimize.set_defaults(func=cmd_optimize)
+
+    throughput = sub.add_parser("throughput", help="standalone scrub throughput")
+    throughput.add_argument("--drive", default="ultrastar")
+    throughput.add_argument(
+        "--algorithm", choices=("sequential", "staggered"), default="sequential"
+    )
+    throughput.add_argument("--regions", type=int, default=128)
+    throughput.add_argument("--request-kb", type=int, default=64)
+    throughput.add_argument("--delay-ms", type=float, default=0.0)
+    throughput.add_argument("--horizon", type=float, default=10.0)
+    throughput.set_defaults(func=cmd_throughput)
+
+    mlet = sub.add_parser("mlet", help="MLET by scrub order under bursty LSEs")
+    mlet.add_argument("--drive", default="ultrastar")
+    mlet.add_argument("--sectors", type=int, default=1_000_000)
+    mlet.add_argument("--burst-length", type=float, default=4000.0)
+    mlet.add_argument("--regions", type=int, nargs="+", default=[16, 64, 128])
+    mlet.add_argument("--seed", type=int, default=0)
+    mlet.set_defaults(func=cmd_mlet)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,158 @@
+"""Online re-tuning of Waiting-scrubber parameters (Section V-D).
+
+The paper: "the simulations can be repeated to adapt the parameter
+values if the workload changes substantially."  :class:`AutoTuner`
+automates that: it observes the device's foreground traffic, keeps a
+sliding window of recent idle intervals, and periodically re-runs the
+:class:`~repro.core.optimizer.ScrubParameterOptimizer` against the
+administrator's slowdown goal, applying the new (wait threshold,
+request size) pair to a live
+:class:`~repro.core.policies.device.WaitingScrubber` in place.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.service_model import ScrubServiceModel
+from repro.core.optimizer import OptimalParameters, ScrubParameterOptimizer
+from repro.core.policies.device import WaitingScrubber
+from repro.disk.commands import SECTOR_SIZE
+from repro.sim import Interrupt, Process, Simulation
+
+
+class AutoTuner:
+    """Periodically re-optimises a running Waiting scrubber.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulation.
+    scrubber:
+        The live scrubber whose ``threshold`` and ``request_sectors``
+        are retuned in place.
+    service_model:
+        Scrub service times for the drive.
+    slowdown_goal:
+        Mean tolerable slowdown per foreground request (seconds).
+    retune_interval:
+        How often to re-run the optimisation.
+    window:
+        Length of the sliding observation window (seconds).
+    min_samples:
+        Idle intervals required before a retune is attempted.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        scrubber: WaitingScrubber,
+        service_model: ScrubServiceModel,
+        slowdown_goal: float,
+        retune_interval: float = 600.0,
+        window: float = 3600.0,
+        min_samples: int = 200,
+    ) -> None:
+        if slowdown_goal <= 0:
+            raise ValueError(f"slowdown_goal must be positive: {slowdown_goal}")
+        if retune_interval <= 0 or window <= 0:
+            raise ValueError("retune_interval and window must be positive")
+        if min_samples < 2:
+            raise ValueError(f"min_samples must be >= 2: {min_samples}")
+        self.sim = sim
+        self.scrubber = scrubber
+        self.service_model = service_model
+        self.slowdown_goal = slowdown_goal
+        self.retune_interval = retune_interval
+        self.window = window
+        self.min_samples = min_samples
+
+        #: (end_time, duration) of observed idle intervals.
+        self._idle: Deque[Tuple[float, float]] = deque()
+        #: Completion times of foreground requests.
+        self._request_times: Deque[float] = deque()
+        self._fg_outstanding = 0
+        self._idle_since: Optional[float] = sim.now
+        self.retunes = 0
+        self.history: List[OptimalParameters] = []
+        self._process: Optional[Process] = None
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> Process:
+        if self._process is not None and self._process.is_alive:
+            raise RuntimeError("auto-tuner already running")
+        self.scrubber.device.observers.append(self._observe)
+        self._process = self.sim.process(self._run())
+        return self._process
+
+    def stop(self) -> None:
+        if self._process is None or not self._process.is_alive:
+            return
+        self._process.interrupt("stop")
+        try:
+            self.scrubber.device.observers.remove(self._observe)
+        except ValueError:
+            pass
+
+    # -- observation ----------------------------------------------------------------
+    def _observe(self, kind: str, request, now: float) -> None:
+        if request.source == self.scrubber.source:
+            return
+        if kind == "submit":
+            if self._fg_outstanding == 0 and self._idle_since is not None:
+                duration = now - self._idle_since
+                if duration > 0:
+                    self._idle.append((now, duration))
+            self._idle_since = None
+            self._fg_outstanding += 1
+        elif kind == "complete":
+            self._fg_outstanding -= 1
+            self._request_times.append(now)
+            if self._fg_outstanding == 0:
+                self._idle_since = now
+
+    def _trim(self, now: float) -> None:
+        horizon = now - self.window
+        while self._idle and self._idle[0][0] < horizon:
+            self._idle.popleft()
+        while self._request_times and self._request_times[0] < horizon:
+            self._request_times.popleft()
+
+    # -- the retune loop -----------------------------------------------------------------
+    def _run(self):
+        try:
+            while True:
+                yield self.sim.timeout(self.retune_interval)
+                self.retune()
+        except Interrupt:
+            return
+
+    def retune(self) -> Optional[OptimalParameters]:
+        """Re-optimise now; returns the parameters applied (or ``None``
+        if there is not yet enough data)."""
+        now = self.sim.now
+        self._trim(now)
+        if len(self._idle) < self.min_samples or not self._request_times:
+            return None
+        durations = np.array([d for _, d in self._idle])
+        span = min(self.window, now) or self.window
+        optimizer = ScrubParameterOptimizer(
+            durations,
+            total_requests=len(self._request_times),
+            span=span,
+            service_model=self.service_model,
+        )
+        try:
+            best = optimizer.optimize(self.slowdown_goal)
+        except ValueError:
+            return None  # goal unattainable on this window: keep settings
+        self.scrubber.threshold = best.threshold
+        self.scrubber.request_sectors = max(
+            1, best.request_bytes // SECTOR_SIZE
+        )
+        self.retunes += 1
+        self.history.append(best)
+        return best

@@ -1,0 +1,135 @@
+"""System-wide scrub management (the paper's Fig. 2 architecture).
+
+The paper's kernel framework is "activated at bootstrapping, matching
+scrubber threads to every block device in the system; this matching is
+updated when devices are inserted/removed, e.g. due to hot swapping.
+The threads remain dormant ... until scrubbing for a specific device
+is activated."  :class:`ScrubManager` provides exactly that lifecycle
+over simulated devices: register/unregister (hotplug), per-device
+activation with an algorithm + parameters, and aggregate progress
+accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.scrubber import ScrubAlgorithm, Scrubber
+from repro.core.sequential import SequentialScrub
+from repro.sched.device import BlockDevice
+from repro.sched.request import PriorityClass
+from repro.sim import Simulation
+
+
+@dataclass
+class _Slot:
+    """One managed device and its (possibly dormant) scrubber."""
+
+    device: BlockDevice
+    scrubber: Optional[Scrubber] = None
+
+
+class ScrubManager:
+    """Matches scrubbers to block devices, like the kernel framework.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulation.
+    algorithm_factory:
+        Builds a fresh :class:`~repro.core.scrubber.ScrubAlgorithm` per
+        activation (each device needs its own algorithm state).
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        algorithm_factory: Callable[[], ScrubAlgorithm] = SequentialScrub,
+    ) -> None:
+        self.sim = sim
+        self.algorithm_factory = algorithm_factory
+        self._slots: Dict[str, _Slot] = {}
+
+    # -- hotplug ----------------------------------------------------------------
+    def register(self, name: str, device: BlockDevice) -> None:
+        """A device appeared (boot enumeration or hot swap in)."""
+        if name in self._slots:
+            raise ValueError(f"device {name!r} already registered")
+        self._slots[name] = _Slot(device=device)
+
+    def unregister(self, name: str) -> None:
+        """A device disappeared; any active scrubber is stopped."""
+        slot = self._slot(name)
+        if slot.scrubber is not None:
+            slot.scrubber.stop()
+        del self._slots[name]
+
+    @property
+    def devices(self) -> List[str]:
+        return sorted(self._slots)
+
+    # -- activation ----------------------------------------------------------------
+    def activate(
+        self,
+        name: str,
+        request_bytes: int = 64 * 1024,
+        priority: PriorityClass = PriorityClass.IDLE,
+        delay: float = 0.0,
+        algorithm: Optional[ScrubAlgorithm] = None,
+    ) -> Scrubber:
+        """Wake the device's scrubber with the given parameters."""
+        slot = self._slot(name)
+        if slot.scrubber is not None and slot.scrubber._process is not None \
+                and slot.scrubber._process.is_alive:
+            raise RuntimeError(f"scrubbing already active on {name!r}")
+        scrubber = Scrubber(
+            self.sim,
+            slot.device,
+            algorithm if algorithm is not None else self.algorithm_factory(),
+            request_bytes=request_bytes,
+            priority=priority,
+            delay=delay,
+            source=f"scrubber:{name}",
+        )
+        scrubber.start()
+        slot.scrubber = scrubber
+        return scrubber
+
+    def deactivate(self, name: str) -> None:
+        """Put the device's scrubber back to sleep."""
+        slot = self._slot(name)
+        if slot.scrubber is not None:
+            slot.scrubber.stop()
+
+    def is_active(self, name: str) -> bool:
+        slot = self._slot(name)
+        return (
+            slot.scrubber is not None
+            and slot.scrubber._process is not None
+            and slot.scrubber._process.is_alive
+        )
+
+    # -- accounting -------------------------------------------------------------------
+    def progress(self, name: str) -> float:
+        """Fraction of the current pass completed on ``name`` (0..1)."""
+        slot = self._slot(name)
+        if slot.scrubber is None:
+            return 0.0
+        capacity = slot.device.drive.capacity_bytes
+        within_pass = slot.scrubber.bytes_scrubbed - (
+            slot.scrubber.passes_completed * capacity
+        )
+        return min(1.0, max(0.0, within_pass / capacity))
+
+    def total_bytes_scrubbed(self) -> int:
+        return sum(
+            slot.scrubber.bytes_scrubbed
+            for slot in self._slots.values()
+            if slot.scrubber is not None
+        )
+
+    def _slot(self, name: str) -> _Slot:
+        if name not in self._slots:
+            raise KeyError(f"unknown device {name!r}")
+        return self._slots[name]

@@ -1,0 +1,71 @@
+"""The Auto-Regression policy (Section V-B.1).
+
+At the start of each idle interval, predict its length from the
+previous ``p`` intervals with an AR(p) model (fitted by Yule–Walker,
+order chosen by AIC) and fire immediately — from offset zero — if the
+prediction exceeds the threshold ``c``.
+
+The paper finds this the *worst* of its policies: AR predictions of
+heavy-tailed durations hover near the process mean, so thresholding
+them separates long from short intervals far less sharply than simply
+observing that an interval has already lasted a while.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.policies.base import IdlePolicy, validate_durations
+from repro.stats.ar import ARModel, select_ar_order
+
+
+class ARPolicy(IdlePolicy):
+    """Fire from an interval's start when the AR prediction exceeds ``c``.
+
+    Parameters
+    ----------
+    threshold:
+        Minimum predicted interval length ``c`` to fire.
+    model:
+        A fitted :class:`~repro.stats.ar.ARModel`; if omitted, one is
+        fitted (with AIC order selection up to ``max_order``) on the
+        duration sequence itself at evaluation time, matching the
+        paper's setup.
+    max_order:
+        AIC search bound when fitting at evaluation time.
+    """
+
+    name = "auto-regression"
+
+    def __init__(
+        self,
+        threshold: float,
+        model: Optional[ARModel] = None,
+        max_order: int = 12,
+    ) -> None:
+        if threshold < 0:
+            raise ValueError(f"threshold must be non-negative: {threshold}")
+        if max_order < 1:
+            raise ValueError(f"max_order must be >= 1: {max_order}")
+        self.threshold = threshold
+        self.model = model
+        self.max_order = max_order
+
+    def predictions(self, durations: np.ndarray) -> np.ndarray:
+        """One-step-ahead predicted length of each interval."""
+        durations = validate_durations(durations)
+        model = self.model
+        if model is None:
+            model = select_ar_order(durations, max_order=self.max_order)
+        return model.predict_series(durations)
+
+    def fire_offsets(self, durations: np.ndarray) -> np.ndarray:
+        durations = validate_durations(durations)
+        offsets = np.full(len(durations), np.inf)
+        offsets[self.predictions(durations) > self.threshold] = 0.0
+        return offsets
+
+    def __repr__(self) -> str:
+        return f"ARPolicy(threshold={self.threshold!r})"

@@ -1,0 +1,54 @@
+"""Policy interface for trace-driven idle-time scheduling.
+
+A policy maps a sequence of idle-interval durations to *fire offsets*:
+for interval ``i`` of length ``D_i``, ``offsets[i]`` is the time into
+the interval at which the policy starts issuing scrub requests
+(``inf`` = the policy skips the interval).  Once firing, every policy
+keeps issuing requests until the interval ends (the paper's Section
+V-A conclusion: with decreasing hazard rates there is no sensible
+stopping criterion other than the next foreground arrival), so the
+offsets fully determine utilisation and collisions:
+
+* utilised idle time in interval ``i``: ``max(0, D_i - offsets[i])``
+* a collision occurs in every interval the policy fires in.
+
+Offsets may exceed ``D_i``; such intervals are treated as not fired
+(the foreground request returned before the policy acted).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class IdlePolicy:
+    """Base class for idle-interval policies."""
+
+    name = "policy"
+
+    def fire_offsets(self, durations: np.ndarray) -> np.ndarray:
+        """Per-interval fire offsets (``inf`` for skipped intervals)."""
+        raise NotImplementedError
+
+    # -- shared derived quantities ------------------------------------------
+    def fired_mask(self, durations: np.ndarray) -> np.ndarray:
+        """Boolean mask of intervals in which the policy fires."""
+        durations = np.asarray(durations, dtype=float)
+        offsets = self.fire_offsets(durations)
+        return offsets < durations
+
+    def utilised_time(self, durations: np.ndarray) -> np.ndarray:
+        """Idle time actually used for scrubbing per interval."""
+        durations = np.asarray(durations, dtype=float)
+        offsets = self.fire_offsets(durations)
+        return np.where(offsets < durations, durations - offsets, 0.0)
+
+
+def validate_durations(durations: np.ndarray) -> np.ndarray:
+    """Common input validation for policies."""
+    durations = np.asarray(durations, dtype=float)
+    if durations.ndim != 1:
+        raise ValueError("durations must be one-dimensional")
+    if np.any(durations < 0):
+        raise ValueError("durations must be non-negative")
+    return durations

@@ -1,0 +1,55 @@
+"""The AR+Waiting policy (Section V-B.3).
+
+Wait ``threshold`` seconds; if the disk is still idle *and* the AR
+prediction made at the interval's start exceeds ``c``, begin firing.
+The AR veto only ever removes intervals the Waiting component would
+have used, so at equal wait thresholds it trades utilisation for
+fewer collisions — the paper shows the trade is unfavourable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.policies.ar import ARPolicy
+from repro.core.policies.base import IdlePolicy, validate_durations
+from repro.stats.ar import ARModel
+
+
+class ARWaitingPolicy(IdlePolicy):
+    """Fire at ``wait_threshold`` if the AR prediction exceeds ``ar_threshold``."""
+
+    name = "ar+waiting"
+
+    def __init__(
+        self,
+        wait_threshold: float,
+        ar_threshold: float,
+        model: Optional[ARModel] = None,
+        max_order: int = 12,
+    ) -> None:
+        if wait_threshold < 0:
+            raise ValueError(
+                f"wait_threshold must be non-negative: {wait_threshold}"
+            )
+        self.wait_threshold = wait_threshold
+        self._ar = ARPolicy(ar_threshold, model=model, max_order=max_order)
+
+    @property
+    def ar_threshold(self) -> float:
+        return self._ar.threshold
+
+    def fire_offsets(self, durations: np.ndarray) -> np.ndarray:
+        durations = validate_durations(durations)
+        offsets = np.full(len(durations), np.inf)
+        approved = self._ar.predictions(durations) > self.ar_threshold
+        offsets[approved] = self.wait_threshold
+        return offsets
+
+    def __repr__(self) -> str:
+        return (
+            f"ARWaitingPolicy(wait_threshold={self.wait_threshold!r}, "
+            f"ar_threshold={self.ar_threshold!r})"
+        )

@@ -1,0 +1,160 @@
+"""Full-stack Waiting scrubber (the paper's "our approach", Table III).
+
+:class:`WaitingScrubber` implements the Waiting policy against a live
+:class:`~repro.sched.device.BlockDevice`: it observes foreground
+submissions/completions, arms a timer whenever the disk drains, and —
+if the disk stays quiet for ``threshold`` seconds — fires fixed-size
+``VERIFY`` requests back to back until the next foreground request
+arrives.  The request that arrives mid-verify is the *collision*; its
+extra wait is the slowdown the optimiser budgets for.
+
+The scrubber self-schedules, so it does not rely on scheduler priority
+support; pair it with :class:`~repro.sched.noop.NoopScheduler` to model
+the paper's replacement of CFQ's gating logic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.scrubber import ScrubAlgorithm
+from repro.disk.commands import SECTOR_SIZE, DiskCommand
+from repro.sched.device import BlockDevice
+from repro.sched.request import IORequest, PriorityClass
+from repro.sim import AnyOf, Interrupt, Process, Simulation
+
+
+class WaitingScrubber:
+    """Waiting-policy scrubber bound to a block device.
+
+    Parameters
+    ----------
+    sim, device, algorithm:
+        As for :class:`~repro.core.scrubber.Scrubber`.
+    threshold:
+        Idle time (seconds) after the last foreground completion before
+        firing begins.
+    request_bytes:
+        Fixed scrub request size (Section V-C: fixed beats adaptive).
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        device: BlockDevice,
+        algorithm: ScrubAlgorithm,
+        threshold: float = 0.1,
+        request_bytes: int = 64 * 1024,
+        priority: PriorityClass = PriorityClass.BE,
+        source: str = "scrubber",
+    ) -> None:
+        if threshold < 0:
+            raise ValueError(f"threshold must be non-negative: {threshold}")
+        if request_bytes % SECTOR_SIZE:
+            raise ValueError(
+                f"request_bytes must be a multiple of {SECTOR_SIZE}: {request_bytes}"
+            )
+        self.sim = sim
+        self.device = device
+        self.algorithm = algorithm
+        self.threshold = threshold
+        self.request_sectors = request_bytes // SECTOR_SIZE
+        self.priority = priority
+        self.source = source
+
+        self.requests_issued = 0
+        self.bytes_scrubbed = 0
+        self.passes_completed = 0
+        self.collisions = 0
+
+        self._fg_outstanding = 0
+        self._last_fg_completion = 0.0
+        self._activity = sim.event()
+        self._process: Optional[Process] = None
+
+    # -- lifecycle --------------------------------------------------------------
+    def start(self) -> Process:
+        if self._process is not None and self._process.is_alive:
+            raise RuntimeError("waiting scrubber already running")
+        self.device.observers.append(self._observe)
+        self.algorithm.reset(self.device.drive.total_sectors, self.request_sectors)
+        self._process = self.sim.process(self._run())
+        return self._process
+
+    def stop(self) -> None:
+        if self._process is None or not self._process.is_alive:
+            return
+        self._process.interrupt("stop")
+        try:
+            self.device.observers.remove(self._observe)
+        except ValueError:
+            pass
+
+    def throughput(self, duration: float) -> float:
+        """Scrubbed bytes/second over ``duration`` seconds."""
+        if duration <= 0:
+            raise ValueError(f"duration must be positive: {duration}")
+        return self.bytes_scrubbed / duration
+
+    # -- observation ---------------------------------------------------------------
+    def _observe(self, kind: str, request: IORequest, now: float) -> None:
+        if request.source == self.source:
+            return
+        if kind == "submit":
+            self._fg_outstanding += 1
+        elif kind == "complete":
+            self._fg_outstanding -= 1
+            if self._fg_outstanding == 0:
+                self._last_fg_completion = now
+        if not self._activity.triggered:
+            self._activity.succeed()
+
+    def _fresh_activity(self):
+        if self._activity.triggered:
+            self._activity = self.sim.event()
+        return self._activity
+
+    # -- control loop ---------------------------------------------------------------
+    def _run(self):
+        sim = self.sim
+        try:
+            while True:
+                if self._fg_outstanding > 0:
+                    yield self._fresh_activity()
+                    continue
+                fire_at = max(self._last_fg_completion, 0.0) + self.threshold
+                if sim.now < fire_at:
+                    yield AnyOf(
+                        sim,
+                        [sim.timeout(fire_at - sim.now), self._fresh_activity()],
+                    )
+                    continue  # re-evaluate: either gate passed or fg arrived
+                # Disk has been idle for the full threshold: fire until a
+                # foreground request shows up.
+                while self._fg_outstanding == 0:
+                    yield self._verify()
+                    if self._fg_outstanding > 0:
+                        self.collisions += 1
+        except Interrupt:
+            return
+
+    def _verify(self):
+        extent = self.algorithm.next_extent()
+        if extent is None:
+            self.passes_completed += 1
+            self.algorithm.reset(
+                self.device.drive.total_sectors, self.request_sectors
+            )
+            extent = self.algorithm.next_extent()
+            if extent is None:
+                raise RuntimeError("scrub algorithm yielded an empty pass")
+        lbn, sectors = extent
+        request = IORequest(
+            DiskCommand.verify(lbn, sectors),
+            priority=self.priority,
+            source=self.source,
+        )
+        completion = self.device.submit(request)
+        self.requests_issued += 1
+        self.bytes_scrubbed += sectors * SECTOR_SIZE
+        return completion

@@ -1,0 +1,44 @@
+"""The clairvoyant Oracle policy (Section V-B, Fig. 14).
+
+Given a collision budget of ``k`` intervals, the optimal choice is to
+fully use exactly the ``k`` longest intervals: each used interval
+costs one collision regardless of length, so utilisation per collision
+is maximised by picking the longest.  This gives the upper bound every
+implementable policy is compared against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policies.base import IdlePolicy, validate_durations
+
+
+class OraclePolicy(IdlePolicy):
+    """Use exactly the ``budget_fraction`` longest intervals, in full.
+
+    ``budget_fraction`` is the fraction of *intervals* the oracle may
+    fire in (its collision budget expressed over intervals).
+    """
+
+    name = "oracle"
+
+    def __init__(self, budget_fraction: float) -> None:
+        if not 0.0 <= budget_fraction <= 1.0:
+            raise ValueError(
+                f"budget_fraction must lie in [0, 1]: {budget_fraction}"
+            )
+        self.budget_fraction = budget_fraction
+
+    def fire_offsets(self, durations: np.ndarray) -> np.ndarray:
+        durations = validate_durations(durations)
+        offsets = np.full(len(durations), np.inf)
+        count = int(round(self.budget_fraction * len(durations)))
+        if count > 0:
+            # Indices of the `count` longest intervals.
+            chosen = np.argpartition(durations, -count)[-count:]
+            offsets[chosen] = 0.0
+        return offsets
+
+    def __repr__(self) -> str:
+        return f"OraclePolicy(budget_fraction={self.budget_fraction!r})"

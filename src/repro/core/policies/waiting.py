@@ -1,0 +1,55 @@
+"""The Waiting policy and its lossless hypothetical (Section V-B.2).
+
+Waiting exploits decreasing hazard rates directly: if the disk has
+already been idle for ``threshold`` seconds, the interval is very
+likely one of the long ones, so start firing.  The cost is the
+threshold itself — that idle time is spent waiting.  Lossless Waiting
+is the paper's diagnostic construct that "magically" recovers the
+waited time; its near-coincidence with the Oracle (Fig. 14) shows that
+*which* intervals Waiting picks is essentially optimal, and only the
+waiting cost separates it from clairvoyance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policies.base import IdlePolicy, validate_durations
+
+
+class WaitingPolicy(IdlePolicy):
+    """Fire after the interval has lasted ``threshold`` seconds."""
+
+    name = "waiting"
+
+    def __init__(self, threshold: float) -> None:
+        if threshold < 0:
+            raise ValueError(f"threshold must be non-negative: {threshold}")
+        self.threshold = threshold
+
+    def fire_offsets(self, durations: np.ndarray) -> np.ndarray:
+        durations = validate_durations(durations)
+        return np.full(len(durations), self.threshold)
+
+    def __repr__(self) -> str:
+        return f"WaitingPolicy(threshold={self.threshold!r})"
+
+
+class LosslessWaitingPolicy(IdlePolicy):
+    """Waiting's selection with zero waiting cost (hypothetical)."""
+
+    name = "lossless-waiting"
+
+    def __init__(self, threshold: float) -> None:
+        if threshold < 0:
+            raise ValueError(f"threshold must be non-negative: {threshold}")
+        self.threshold = threshold
+
+    def fire_offsets(self, durations: np.ndarray) -> np.ndarray:
+        durations = validate_durations(durations)
+        offsets = np.full(len(durations), np.inf)
+        offsets[durations > self.threshold] = 0.0
+        return offsets
+
+    def __repr__(self) -> str:
+        return f"LosslessWaitingPolicy(threshold={self.threshold!r})"

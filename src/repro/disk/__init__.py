@@ -1,0 +1,58 @@
+"""Mechanical hard-disk model.
+
+This package is the hardware substrate for the reproduction: the paper
+measured real SAS/SATA drives, which we replace with an explicit
+mechanical model.  The model is deliberately *mechanistic* rather than
+curve-fitted: every effect the paper observes falls out of geometry,
+seek, rotation and cache behaviour:
+
+* flat ``VERIFY`` service times below ~64 KB (rotation + seek dominate
+  transfer — Fig. 4);
+* the full-rotation penalty for back-to-back sequential ``VERIFY``
+  (completion propagation lets the target sector slip past the head —
+  the root cause of staggered scrubbing's surprising win, Fig. 5);
+* the ATA ``VERIFY`` cache bug (served from the on-disk cache instead of
+  the medium — Fig. 1).
+
+Public surface:
+
+* :class:`~repro.disk.geometry.DiskGeometry` — zoned LBN-to-physical mapping
+* :class:`~repro.disk.mechanics.SeekModel` / :class:`~repro.disk.mechanics.RotationModel`
+* :class:`~repro.disk.cache.DiskCache` — segmented streaming read cache
+* :class:`~repro.disk.drive.Drive` — command service model
+* :mod:`repro.disk.models` — parameter presets for the paper's drives
+"""
+
+from repro.disk.cache import DiskCache
+from repro.disk.commands import DiskCommand, Interface, Opcode
+from repro.disk.drive import Drive, ServiceBreakdown
+from repro.disk.geometry import DiskGeometry, Location, Zone
+from repro.disk.mechanics import RotationModel, SeekModel
+from repro.disk.models import (
+    DriveSpec,
+    fujitsu_map3367np,
+    fujitsu_max3073rc,
+    hitachi_deskstar_7k1000,
+    hitachi_ultrastar_15k450,
+    wd_caviar_blue,
+)
+
+__all__ = [
+    "DiskCache",
+    "DiskCommand",
+    "DiskGeometry",
+    "Drive",
+    "DriveSpec",
+    "Interface",
+    "Location",
+    "Opcode",
+    "RotationModel",
+    "SeekModel",
+    "ServiceBreakdown",
+    "Zone",
+    "fujitsu_map3367np",
+    "fujitsu_max3073rc",
+    "hitachi_deskstar_7k1000",
+    "hitachi_ultrastar_15k450",
+    "wd_caviar_blue",
+]

@@ -1,0 +1,183 @@
+"""On-disk segmented read cache with streaming read-ahead.
+
+Real drive caches are organised as a handful of *segments*, each
+holding one contiguous run of sectors, replaced LRU; after servicing a
+read the drive keeps reading ahead into the segment at media speed.
+We model exactly that: a :class:`Segment` records its LBN range, the
+time its initial range became available and the *fill rate* at which
+the read-ahead tail streams in, so a lookup at time ``t`` can tell not
+just whether data is cached but *when* it is (or will be) fully
+available — sequential readers ride just behind the fill front.
+
+``VERIFY`` on a correct (SCSI) drive never consults or populates this
+cache; the ATA ``VERIFY`` bug from Section III-A of the paper is
+modelled in :class:`~repro.disk.drive.Drive` by routing ATA verifies
+through the same path as reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Segment:
+    """One contiguous cached run ``[start, end)``.
+
+    ``ready_from`` is when sector ``filled_to_start`` .. sectors below
+    ``filled_boundary`` were present; sectors at or above
+    ``filled_boundary`` become available at ``fill_rate`` sectors/second
+    starting from ``ready_from``.
+    """
+
+    start: int
+    end: int
+    filled_boundary: int
+    ready_from: float
+    fill_rate: float
+    last_used: float = field(default=0.0)
+
+    def covers(self, lbn: int, sectors: int) -> bool:
+        return self.start <= lbn and lbn + sectors <= self.end
+
+    def available_at(self, lbn: int, sectors: int) -> float:
+        """Time the whole range is present in the segment."""
+        last = lbn + sectors
+        if last <= self.filled_boundary:
+            return self.ready_from
+        if self.fill_rate <= 0:
+            return float("inf")
+        return self.ready_from + (last - self.filled_boundary) / self.fill_rate
+
+
+class DiskCache:
+    """A fixed number of LRU-replaced streaming segments.
+
+    Parameters
+    ----------
+    num_segments:
+        How many independent sequential streams the cache can track.
+    segment_sectors:
+        Capacity of one segment, in sectors.
+    read_ahead_sectors:
+        How far past the requested range the drive streams ahead.
+    """
+
+    def __init__(
+        self,
+        num_segments: int = 16,
+        segment_sectors: int = 2048,
+        read_ahead_sectors: int = 512,
+    ) -> None:
+        if num_segments <= 0:
+            raise ValueError(f"num_segments must be positive: {num_segments}")
+        if segment_sectors <= 0:
+            raise ValueError(f"segment_sectors must be positive: {segment_sectors}")
+        if read_ahead_sectors < 0:
+            raise ValueError(f"read_ahead_sectors negative: {read_ahead_sectors}")
+        self.num_segments = num_segments
+        self.segment_sectors = segment_sectors
+        self.read_ahead_sectors = read_ahead_sectors
+        self._segments: List[Segment] = []
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    @property
+    def segments(self) -> List[Segment]:
+        """Snapshot of live segments (most recently used last)."""
+        return list(self._segments)
+
+    def clear(self) -> None:
+        """Drop all cached data (models a cache-disable or reset)."""
+        self._segments.clear()
+
+    def lookup(self, lbn: int, sectors: int, now: float) -> Optional[float]:
+        """Return when ``[lbn, lbn+sectors)`` is fully cached, else ``None``.
+
+        A hit may be in the future (the read-ahead front has not reached
+        the end of the range yet); the caller stalls until then, which
+        is exactly how a drive streams a sequential read from its
+        buffer.  Counts hit/miss statistics and refreshes LRU order.
+        """
+        for index in range(len(self._segments) - 1, -1, -1):
+            segment = self._segments[index]
+            if segment.covers(lbn, sectors):
+                ready = segment.available_at(lbn, sectors)
+                segment.last_used = now
+                # Continuous read-ahead: while a sequential stream keeps
+                # consuming a segment, the firmware keeps pre-reading, so
+                # the window slides forward instead of ending at a fixed
+                # point.  Without this, every ``read_ahead_sectors`` the
+                # stream would stall on a spurious miss.
+                if segment.end - (lbn + sectors) < self.read_ahead_sectors:
+                    segment.end = lbn + sectors + self.read_ahead_sectors
+                    self._trim(segment)
+                self._segments.append(self._segments.pop(index))
+                self.hits += 1
+                return ready
+        self.misses += 1
+        return None
+
+    def insert(
+        self,
+        lbn: int,
+        sectors: int,
+        now: float,
+        fill_rate: float,
+        read_ahead: bool = True,
+    ) -> Segment:
+        """Record a media read of ``[lbn, lbn+sectors)`` finishing at ``now``.
+
+        If the run extends the most recent segment contiguously, that
+        segment grows (modelling a continuing sequential stream);
+        otherwise a new segment is allocated, evicting the LRU one when
+        the cache is full.  ``fill_rate`` (sectors/second) is the media
+        rate at which the optional read-ahead tail streams in.
+        """
+        ahead = self.read_ahead_sectors if read_ahead else 0
+        end = lbn + sectors + ahead
+        if self._segments:
+            tail = self._segments[-1]
+            if tail.start <= lbn <= tail.end and end >= tail.end:
+                tail.end = end
+                tail.filled_boundary = lbn + sectors
+                tail.ready_from = now
+                tail.fill_rate = fill_rate
+                tail.last_used = now
+                self._trim(tail)
+                return tail
+        segment = Segment(
+            start=lbn,
+            end=end,
+            filled_boundary=lbn + sectors,
+            ready_from=now,
+            fill_rate=fill_rate,
+            last_used=now,
+        )
+        self._segments.append(segment)
+        if len(self._segments) > self.num_segments:
+            self._segments.pop(0)
+        self._trim(segment)
+        return segment
+
+    def invalidate(self, lbn: int, sectors: int) -> None:
+        """Drop any segment overlapping ``[lbn, lbn+sectors)``.
+
+        Used on writes so the cache never serves stale data.
+        Overlapping segments are dropped whole — real firmware splits
+        them, but whole-drop only costs extra misses, never wrong data.
+        """
+        end = lbn + sectors
+        self._segments = [
+            s for s in self._segments if s.end <= lbn or s.start >= end
+        ]
+
+    def _trim(self, segment: Segment) -> None:
+        """Enforce the per-segment capacity by discarding the oldest head."""
+        if segment.end - segment.start > self.segment_sectors:
+            segment.start = segment.end - self.segment_sectors
+            segment.filled_boundary = max(segment.filled_boundary, segment.start)

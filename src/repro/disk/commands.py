@@ -1,0 +1,78 @@
+"""Disk command definitions.
+
+A :class:`DiskCommand` is the unit of work a :class:`~repro.disk.drive.Drive`
+services: an opcode, a starting LBN and a sector count.  The
+:class:`Interface` distinguishes SCSI/SAS from ATA/SATA semantics,
+which matters only for ``VERIFY`` (Section III-A of the paper: ATA
+``VERIFY`` is incorrectly served from the on-disk cache).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: Size of one logical sector in bytes (all paper-era drives are 512n).
+SECTOR_SIZE = 512
+
+
+class Opcode(enum.Enum):
+    """Operation requested from the drive."""
+
+    READ = "read"
+    WRITE = "write"
+    VERIFY = "verify"
+
+
+class Interface(enum.Enum):
+    """Host interface family; selects VERIFY semantics."""
+
+    SCSI = "scsi"  # includes SAS
+    ATA = "ata"  # includes SATA
+
+
+@dataclass(frozen=True)
+class DiskCommand:
+    """A single command to the drive.
+
+    Parameters
+    ----------
+    opcode:
+        What to do.
+    lbn:
+        First logical block number.
+    sectors:
+        Number of 512-byte sectors spanned.
+    """
+
+    opcode: Opcode
+    lbn: int
+    sectors: int
+
+    def __post_init__(self) -> None:
+        if self.lbn < 0:
+            raise ValueError(f"negative LBN: {self.lbn}")
+        if self.sectors <= 0:
+            raise ValueError(f"sector count must be positive: {self.sectors}")
+
+    @property
+    def bytes(self) -> int:
+        """Payload size in bytes."""
+        return self.sectors * SECTOR_SIZE
+
+    @property
+    def end_lbn(self) -> int:
+        """One past the last LBN touched."""
+        return self.lbn + self.sectors
+
+    @classmethod
+    def read(cls, lbn: int, sectors: int) -> "DiskCommand":
+        return cls(Opcode.READ, lbn, sectors)
+
+    @classmethod
+    def write(cls, lbn: int, sectors: int) -> "DiskCommand":
+        return cls(Opcode.WRITE, lbn, sectors)
+
+    @classmethod
+    def verify(cls, lbn: int, sectors: int) -> "DiskCommand":
+        return cls(Opcode.VERIFY, lbn, sectors)

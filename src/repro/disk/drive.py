@@ -1,0 +1,248 @@
+"""The drive command-service model.
+
+:class:`Drive` is a *passive* timing model: callers (the block device /
+scheduler layer) serialise commands and call :meth:`Drive.service`,
+which computes when the command finishes and updates drive state (head
+position, cache contents).  The platter angle is derived from absolute
+simulation time, so positioning costs follow automatically — including
+the paper's central mechanical effect: after a ``VERIFY`` completes,
+command-completion propagation lets the next sequential sector slip
+past the head, costing a full revolution on the next back-to-back
+sequential ``VERIFY`` (Section IV-A).
+
+Cache semantics per Section III-A:
+
+* ``READ`` consults and populates the cache (with read-ahead);
+* ``VERIFY`` on a SCSI/SAS drive always reads the medium, never touching
+  the cache (the whole point of the command);
+* ``VERIFY`` on an ATA drive with the firmware bug behaves like a read,
+  hitting and polluting the cache (Fig. 1);
+* ``WRITE`` goes to the medium (write cache off, the safe configuration
+  for the paper's experiments) and invalidates overlapping cache data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.disk.cache import DiskCache
+from repro.disk.commands import SECTOR_SIZE, DiskCommand, Interface, Opcode
+from repro.disk.geometry import DiskGeometry
+from repro.disk.mechanics import RotationModel, SeekModel
+from repro.disk.models import DriveSpec
+
+
+@dataclass(frozen=True)
+class ServiceBreakdown:
+    """Timing decomposition of one serviced command."""
+
+    start: float
+    finish: float
+    overhead: float
+    seek: float
+    rotation: float
+    transfer: float
+    cache_hit: bool
+
+    @property
+    def total(self) -> float:
+        return self.finish - self.start
+
+
+class Drive:
+    """A single disk drive with mechanical and cache state.
+
+    Parameters
+    ----------
+    spec:
+        Drive parameters (see :mod:`repro.disk.models`).
+    cache_enabled:
+        Models the drive's read-cache toggle (``hdparm -W`` analogue for
+        reads); several paper experiments run with the cache disabled.
+
+    Notes
+    -----
+    The drive is not thread/process aware: it trusts the caller to
+    issue commands one at a time with non-decreasing ``now`` values.
+    """
+
+    def __init__(self, spec: DriveSpec, cache_enabled: bool = True) -> None:
+        self.spec = spec
+        self.geometry = DiskGeometry.zoned(
+            heads=spec.heads,
+            cylinders=spec.cylinders,
+            outer_spt=spec.outer_spt,
+            inner_spt=spec.inner_spt,
+            num_zones=spec.num_zones,
+            track_skew=spec.track_skew,
+        )
+        self.seek_model = SeekModel.from_specs(
+            spec.track_to_track_seek,
+            spec.average_seek,
+            spec.full_stroke_seek,
+            spec.cylinders,
+        )
+        self.rotation = RotationModel(spec.rpm)
+        self.cache = DiskCache(
+            num_segments=spec.cache_segments,
+            segment_sectors=spec.cache_segment_sectors,
+            read_ahead_sectors=spec.read_ahead_sectors,
+        )
+        self.cache_enabled = cache_enabled
+        self.head_cylinder = 0
+        self._last_issue_time = float("-inf")
+        self.commands_serviced = 0
+
+    # -- properties ----------------------------------------------------------
+    @property
+    def total_sectors(self) -> int:
+        return self.geometry.total_sectors
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.geometry.capacity_bytes
+
+    def media_rate(self, lbn: int) -> float:
+        """Sustained media transfer rate (bytes/second) at ``lbn``'s zone."""
+        spt = self.geometry.sectors_per_track_at(lbn)
+        return spt * SECTOR_SIZE / self.rotation.period
+
+    def set_cache_enabled(self, enabled: bool) -> None:
+        """Toggle the read cache, dropping contents when disabling."""
+        self.cache_enabled = enabled
+        if not enabled:
+            self.cache.clear()
+
+    # -- service --------------------------------------------------------------
+    def service(self, command: DiskCommand, now: float) -> ServiceBreakdown:
+        """Service ``command`` starting at time ``now``; returns the timing.
+
+        ``now`` must not precede the previous command's issue time — the
+        caller owns serialisation.
+        """
+        if command.end_lbn > self.total_sectors:
+            raise ValueError(
+                f"command {command} exceeds disk size {self.total_sectors}"
+            )
+        if now < self._last_issue_time:
+            raise ValueError(
+                f"commands must be issued in time order: {now} < "
+                f"{self._last_issue_time}"
+            )
+        self._last_issue_time = now
+        self.commands_serviced += 1
+
+        if self._uses_cache_path(command):
+            hit = self._try_cache(command, now)
+            if hit is not None:
+                return hit
+        return self._media_access(command, now)
+
+    # -- internals -------------------------------------------------------------
+    def _uses_cache_path(self, command: DiskCommand) -> bool:
+        """Whether this command may be satisfied from / populate the cache."""
+        if not self.cache_enabled:
+            return False
+        if command.opcode is Opcode.READ:
+            return True
+        if command.opcode is Opcode.VERIFY:
+            # The ATA firmware bug: VERIFY behaves like a read.
+            return (
+                self.spec.interface is Interface.ATA
+                and self.spec.ata_verify_cache_bug
+            )
+        return False
+
+    def _try_cache(
+        self, command: DiskCommand, now: float
+    ) -> Optional[ServiceBreakdown]:
+        """Attempt buffer service; ``None`` on miss."""
+        t = now + self.spec.command_overhead
+        ready = self.cache.lookup(command.lbn, command.sectors, t)
+        if ready is None:
+            return None
+        # Wait for the read-ahead fill front if the tail of the range is
+        # still streaming in, then burst over the interface.
+        t = max(t, ready)
+        transfer = command.bytes / self.spec.interface_rate
+        finish = t + transfer + self.spec.completion_overhead
+        return ServiceBreakdown(
+            start=now,
+            finish=finish,
+            overhead=self.spec.command_overhead + self.spec.completion_overhead,
+            seek=0.0,
+            rotation=max(0.0, ready - (now + self.spec.command_overhead)),
+            transfer=transfer,
+            cache_hit=True,
+        )
+
+    def _media_access(self, command: DiskCommand, now: float) -> ServiceBreakdown:
+        """Mechanical access: seek + rotate + transfer track by track."""
+        t = now + self.spec.command_overhead
+        seek_total = rotation_total = transfer_total = 0.0
+
+        lbn = command.lbn
+        remaining = command.sectors
+        current_track: Optional[int] = None
+        while remaining > 0:
+            loc = self.geometry.locate(lbn)
+            # Positioning: initial seek, or a switch between tracks.
+            if current_track is None:
+                seek_time = self.seek_model.time(
+                    abs(loc.cylinder - self.head_cylinder)
+                )
+            elif loc.cylinder != self.head_cylinder:
+                seek_time = max(
+                    self.seek_model.time(abs(loc.cylinder - self.head_cylinder)),
+                    self.spec.head_switch_time,
+                )
+            else:
+                seek_time = self.spec.head_switch_time
+            t += seek_time
+            seek_total += seek_time
+            self.head_cylinder = loc.cylinder
+            current_track = loc.track_index
+
+            # Rotate to the first sector of this track's chunk.
+            latency = self.rotation.latency_to(self.geometry.angle_of(loc), t)
+            t += latency
+            rotation_total += latency
+
+            # Sweep the contiguous sectors available on this track.
+            chunk = min(remaining, loc.sectors_per_track - loc.sector)
+            sweep = self.rotation.transfer_time(chunk, loc.sectors_per_track)
+            t += sweep
+            transfer_total += sweep
+            lbn += chunk
+            remaining -= chunk
+
+        media_end = t
+        finish = media_end + self.spec.completion_overhead
+
+        if self._uses_cache_path(command):
+            zone_rate = self.geometry.sectors_per_track_at(
+                command.lbn
+            ) / self.rotation.period
+            self.cache.insert(
+                command.lbn,
+                command.sectors,
+                media_end,
+                fill_rate=zone_rate,
+                read_ahead=True,
+            )
+        elif command.opcode is Opcode.WRITE:
+            self.cache.invalidate(command.lbn, command.sectors)
+
+        return ServiceBreakdown(
+            start=now,
+            finish=finish,
+            overhead=self.spec.command_overhead + self.spec.completion_overhead,
+            seek=seek_total,
+            rotation=rotation_total,
+            transfer=transfer_total,
+            cache_hit=False,
+        )
+
+    def __repr__(self) -> str:
+        return f"<Drive {self.spec.name!r} head@{self.head_cylinder}>"

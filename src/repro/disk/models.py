@@ -1,0 +1,186 @@
+"""Parameter presets for the drives used in the paper.
+
+The paper measures five drives:
+
+* Hitachi Ultrastar 15K450 300 GB (SAS, 15 000 rpm) — Figs. 1, 3–6
+* Fujitsu MAX3073RC 73 GB (SAS, 15 000 rpm) — Figs. 4, 5
+* Fujitsu MAP3367NP 36 GB (SCSI, 10 000 rpm) — Fig. 4
+* WD Caviar (SATA, 7 200 rpm) — Fig. 1 (ATA VERIFY cache bug)
+* Hitachi Deskstar (SATA, 7 200 rpm) — Fig. 1 (ATA VERIFY cache bug)
+
+Geometry figures (heads, cylinder counts, sectors per track) are not
+published at this granularity; the presets use plausible values chosen
+so that capacity, rotation period, media transfer rate and seek specs
+match the public datasheets.  The *paper-relevant* behaviours (rotation
+period, flat VERIFY service ≤64 KB, ATA cache bug) depend only on those
+aggregate figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.disk.commands import Interface
+
+
+@dataclass(frozen=True)
+class DriveSpec:
+    """Complete parameter set for building a :class:`~repro.disk.drive.Drive`."""
+
+    name: str
+    interface: Interface
+    rpm: float
+    heads: int
+    cylinders: int
+    outer_spt: int
+    inner_spt: int
+    num_zones: int
+    track_to_track_seek: float
+    average_seek: float
+    full_stroke_seek: float
+    head_switch_time: float
+    command_overhead: float
+    completion_overhead: float
+    interface_rate: float  # bytes/second, burst from the drive buffer
+    track_skew: float = 0.15
+    cache_segments: int = 16
+    cache_segment_sectors: int = 8192  # 4 MB
+    read_ahead_sectors: int = 1024  # 512 KB
+    #: The Section III-A bug: VERIFY served from the on-disk cache.
+    ata_verify_cache_bug: bool = False
+
+    @property
+    def rotation_period(self) -> float:
+        return 60.0 / self.rpm
+
+    @property
+    def capacity_bytes(self) -> int:
+        mean_spt = (self.outer_spt + self.inner_spt) / 2
+        return int(self.cylinders * self.heads * mean_spt * 512)
+
+    def with_overrides(self, **kwargs) -> "DriveSpec":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+def hitachi_ultrastar_15k450() -> DriveSpec:
+    """Hitachi Ultrastar 15K450, 300 GB SAS, 15 000 rpm.
+
+    The paper's main experimental drive (Figs. 1, 3, 4, 5, 6).
+    """
+    return DriveSpec(
+        name="Hitachi Ultrastar 15K450 300GB",
+        interface=Interface.SCSI,
+        rpm=15000,
+        heads=6,
+        cylinders=101_700,
+        outer_spt=1150,
+        inner_spt=770,
+        num_zones=8,
+        track_to_track_seek=0.2e-3,
+        average_seek=3.4e-3,
+        full_stroke_seek=6.5e-3,
+        head_switch_time=0.5e-3,
+        command_overhead=0.12e-3,
+        completion_overhead=0.15e-3,
+        interface_rate=300e6,
+        ata_verify_cache_bug=False,
+    )
+
+
+def fujitsu_max3073rc() -> DriveSpec:
+    """Fujitsu MAX3073RC, 73 GB SAS, 15 000 rpm (Figs. 3, 4, 5)."""
+    return DriveSpec(
+        name="Fujitsu MAX3073RC 73GB",
+        interface=Interface.SCSI,
+        rpm=15000,
+        heads=4,
+        cylinders=47_850,
+        outer_spt=900,
+        inner_spt=600,
+        num_zones=8,
+        track_to_track_seek=0.2e-3,
+        average_seek=3.3e-3,
+        full_stroke_seek=6.0e-3,
+        head_switch_time=0.5e-3,
+        command_overhead=0.12e-3,
+        completion_overhead=0.15e-3,
+        interface_rate=300e6,
+        ata_verify_cache_bug=False,
+    )
+
+
+def fujitsu_map3367np() -> DriveSpec:
+    """Fujitsu MAP3367NP, 36 GB parallel SCSI, 10 000 rpm (Fig. 4)."""
+    return DriveSpec(
+        name="Fujitsu MAP3367NP 36GB",
+        interface=Interface.SCSI,
+        rpm=10000,
+        heads=4,
+        cylinders=28_670,
+        outer_spt=750,
+        inner_spt=500,
+        num_zones=8,
+        track_to_track_seek=0.3e-3,
+        average_seek=4.5e-3,
+        full_stroke_seek=10.0e-3,
+        head_switch_time=0.7e-3,
+        command_overhead=0.15e-3,
+        completion_overhead=0.2e-3,
+        interface_rate=320e6,
+        ata_verify_cache_bug=False,
+    )
+
+
+def wd_caviar_blue() -> DriveSpec:
+    """WD Caviar, 320 GB SATA, 7 200 rpm — exhibits the VERIFY cache bug."""
+    return DriveSpec(
+        name="WD Caviar 320GB",
+        interface=Interface.ATA,
+        rpm=7200,
+        heads=4,
+        cylinders=120_000,
+        outer_spt=1560,
+        inner_spt=1040,
+        num_zones=8,
+        track_to_track_seek=0.8e-3,
+        average_seek=8.9e-3,
+        full_stroke_seek=21.0e-3,
+        head_switch_time=0.8e-3,
+        command_overhead=0.12e-3,
+        completion_overhead=0.15e-3,
+        interface_rate=300e6,
+        ata_verify_cache_bug=True,
+    )
+
+
+def hitachi_deskstar_7k1000() -> DriveSpec:
+    """Hitachi Deskstar, 1 TB SATA, 7 200 rpm — exhibits the VERIFY cache bug."""
+    return DriveSpec(
+        name="Hitachi Deskstar 1TB",
+        interface=Interface.ATA,
+        rpm=7200,
+        heads=10,
+        cylinders=139_500,
+        outer_spt=1680,
+        inner_spt=1120,
+        num_zones=8,
+        track_to_track_seek=0.8e-3,
+        average_seek=8.5e-3,
+        full_stroke_seek=20.0e-3,
+        head_switch_time=0.8e-3,
+        command_overhead=0.12e-3,
+        completion_overhead=0.15e-3,
+        interface_rate=300e6,
+        ata_verify_cache_bug=True,
+    )
+
+
+#: All presets keyed by a short identifier.
+PRESETS = {
+    "ultrastar": hitachi_ultrastar_15k450,
+    "max3073rc": fujitsu_max3073rc,
+    "map3367np": fujitsu_map3367np,
+    "caviar": wd_caviar_blue,
+    "deskstar": hitachi_deskstar_7k1000,
+}

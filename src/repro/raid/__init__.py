@@ -1,0 +1,35 @@
+"""RAID substrate: the context that makes scrubbing matter.
+
+The paper's motivation (Section I): latent sector errors are harmless
+while redundancy holds, but an LSE *discovered during a RAID rebuild*
+— after a disk failure has already consumed the redundancy — loses
+data.  Scrubbing shrinks the window between an LSE's occurrence and
+its repair (the MLET), and therefore the probability that a rebuild
+trips over one.
+
+This package provides:
+
+* :class:`~repro.raid.geometry.RaidGeometry` — logical-to-physical
+  striping for RAID-0/1/5;
+* :class:`~repro.raid.array.RaidArray` — a simulated array over
+  multiple :class:`~repro.sched.device.BlockDevice`\\ s with per-disk
+  latent-error maps, scrub-repair hooks, degraded reads and rebuilds;
+* :mod:`repro.raid.reliability` — Monte-Carlo estimation of the
+  probability a rebuild encounters an unrepaired LSE, as a function of
+  the scrub order and rate (connecting the paper's MLET argument to
+  data loss).
+"""
+
+from repro.raid.array import DataLossError, RaidArray
+from repro.raid.errors import ErrorMap
+from repro.raid.geometry import RaidGeometry, RaidLevel
+from repro.raid.reliability import RebuildRiskModel
+
+__all__ = [
+    "DataLossError",
+    "ErrorMap",
+    "RaidArray",
+    "RaidGeometry",
+    "RaidLevel",
+    "RebuildRiskModel",
+]

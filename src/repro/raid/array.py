@@ -1,0 +1,229 @@
+"""A simulated RAID array over multiple block devices.
+
+:class:`RaidArray` stripes logical I/O over member
+:class:`~repro.sched.device.BlockDevice`\\ s, keeps an
+:class:`~repro.raid.errors.ErrorMap` of latent sector errors, and —
+via device observers — makes *any* scrubber attached to a member
+device detect and repair the LSEs its ``VERIFY`` requests cover (as
+long as redundancy is available).  A disk failure puts the array in
+degraded mode; :meth:`rebuild` reconstructs the failed member and
+counts the unrecoverable errors it trips over, which is exactly the
+data-loss mechanism the paper's introduction describes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.disk.commands import DiskCommand, Opcode
+from repro.raid.errors import ErrorMap
+from repro.raid.geometry import RaidGeometry, RaidLevel
+from repro.sched.device import BlockDevice
+from repro.sched.request import IORequest, PriorityClass
+from repro.sim import AllOf, Simulation
+
+
+class DataLossError(Exception):
+    """Raised when data is lost with no redundancy left to recover it."""
+
+
+class RaidArray:
+    """A RAID-0/1/5 array with latent-error tracking.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulation.
+    devices:
+        Member block devices (all the same size, >= geometry.disk_sectors).
+    geometry:
+        Striping layout.
+    strict:
+        If ``True``, unrecoverable reads raise :class:`DataLossError`;
+        otherwise they are counted in :attr:`data_loss_events` (the mode
+        reliability studies use).
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        devices: List[BlockDevice],
+        geometry: RaidGeometry,
+        strict: bool = False,
+    ) -> None:
+        if len(devices) != geometry.disks:
+            raise ValueError(
+                f"geometry expects {geometry.disks} disks, got {len(devices)}"
+            )
+        for device in devices:
+            if device.drive.total_sectors < geometry.disk_sectors:
+                raise ValueError(
+                    "member device smaller than geometry.disk_sectors"
+                )
+        self.sim = sim
+        self.devices = devices
+        self.geometry = geometry
+        self.errors = ErrorMap(geometry.disks)
+        self.strict = strict
+        self.failed: Optional[int] = None
+
+        self.errors_detected_by_scrub = 0
+        self.errors_detected_by_read = 0
+        self.errors_repaired = 0
+        self.data_loss_events = 0
+
+        for index, device in enumerate(devices):
+            device.observers.append(self._make_observer(index))
+
+    # -- error plumbing ---------------------------------------------------------
+    def _make_observer(self, disk: int):
+        def observe(kind: str, request: IORequest, now: float) -> None:
+            if kind != "complete":
+                return
+            if request.source == "rebuild":
+                return  # the rebuild process does its own error handling
+            if request.command.opcode not in (Opcode.READ, Opcode.VERIFY):
+                return
+            bad = self.errors.scan(
+                disk, request.command.lbn, request.command.sectors
+            )
+            if not bad:
+                return
+            if request.command.opcode is Opcode.VERIFY:
+                self.errors_detected_by_scrub += len(bad)
+            else:
+                self.errors_detected_by_read += len(bad)
+            self._handle_detected(disk, bad)
+
+        return observe
+
+    def _handle_detected(self, disk: int, sectors: List[int]) -> None:
+        """Repair from redundancy, or record/raise data loss."""
+        if self._redundancy_available(disk):
+            self.errors.repair(disk, sectors)
+            self.errors_repaired += len(sectors)
+        else:
+            self.data_loss_events += len(sectors)
+            if self.strict:
+                raise DataLossError(
+                    f"unrecoverable sectors {sectors[:4]}... on disk {disk}"
+                )
+
+    def _redundancy_available(self, disk: int) -> bool:
+        if self.geometry.level is RaidLevel.RAID0:
+            return False
+        return self.failed is None or self.failed == disk
+
+    # -- failure / rebuild -----------------------------------------------------------
+    def fail_disk(self, disk: int) -> None:
+        """Take a member out of service (its contents are gone)."""
+        if not 0 <= disk < self.geometry.disks:
+            raise ValueError(f"disk index out of range: {disk}")
+        if self.failed is not None:
+            raise RuntimeError("array already degraded")
+        if self.geometry.level is RaidLevel.RAID0:
+            raise RuntimeError("RAID-0 cannot survive a disk failure")
+        self.failed = disk
+        self.errors.clear_disk(disk)
+
+    def rebuild(self, request_sectors: int = 256):
+        """Reconstruct the failed disk onto itself (hot spare model).
+
+        Returns a process whose value is the number of *unrecoverable*
+        sectors encountered — stripes where a surviving member held an
+        undetected LSE when the rebuild read it.
+        """
+        if self.failed is None:
+            raise RuntimeError("no failed disk to rebuild")
+        return self.sim.process(self._rebuild(request_sectors))
+
+    def _rebuild(self, request_sectors: int):
+        failed = self.failed
+        unrecoverable = 0
+        survivors = [
+            d for d in range(self.geometry.disks) if d != failed
+        ]
+        step = max(self.geometry.chunk_sectors, request_sectors)
+        for start in range(0, self.geometry.disk_sectors, step):
+            sectors = min(step, self.geometry.disk_sectors - start)
+            reads = []
+            for disk in survivors:
+                reads.append(
+                    self._submit(
+                        disk, DiskCommand.read(start, sectors), "rebuild"
+                    )
+                )
+            yield AllOf(self.sim, reads)
+            # Any latent error on a survivor in this range is fatal for
+            # the corresponding reconstructed sectors.
+            for disk in survivors:
+                bad = self.errors.scan(disk, start, sectors)
+                if bad:
+                    unrecoverable += len(bad)
+                    self.data_loss_events += len(bad)
+                    self.errors.repair(disk, bad)  # remapped afterwards
+            yield self._submit(
+                failed, DiskCommand.write(start, sectors), "rebuild"
+            )
+        self.failed = None
+        return unrecoverable
+
+    # -- logical I/O -------------------------------------------------------------------
+    def read(self, lbn: int, sectors: int, source: str = "array"):
+        """Logical read; returns a process completing when data is ready."""
+        return self.sim.process(self._read(lbn, sectors, source))
+
+    def write(self, lbn: int, sectors: int, source: str = "array"):
+        """Logical write (data + parity/mirror chunks)."""
+        return self.sim.process(self._write(lbn, sectors, source))
+
+    def _read(self, lbn: int, sectors: int, source: str):
+        pending = []
+        for chunk in self.geometry.map_read(lbn, sectors):
+            if chunk.disk == self.failed:
+                # Degraded read: reconstruct from the other members.
+                stripe = chunk.lbn // self.geometry.chunk_sectors
+                for member in self.geometry.stripe_members(stripe):
+                    if member.disk == self.failed:
+                        continue
+                    pending.append(
+                        self._submit(
+                            member.disk,
+                            DiskCommand.read(chunk.lbn, chunk.sectors),
+                            source,
+                        )
+                    )
+            else:
+                pending.append(
+                    self._submit(
+                        chunk.disk,
+                        DiskCommand.read(chunk.lbn, chunk.sectors),
+                        source,
+                    )
+                )
+        if pending:
+            yield AllOf(self.sim, pending)
+
+    def _write(self, lbn: int, sectors: int, source: str):
+        pending = []
+        for chunk in self.geometry.map_write(lbn, sectors):
+            if chunk.disk == self.failed:
+                continue  # degraded: the failed member's share is skipped
+            pending.append(
+                self._submit(
+                    chunk.disk,
+                    DiskCommand.write(chunk.lbn, chunk.sectors),
+                    source,
+                )
+            )
+            # A write refreshes the sectors it covers: any latent error
+            # underneath is overwritten.
+            self.errors.repair(
+                chunk.disk, range(chunk.lbn, chunk.lbn + chunk.sectors)
+            )
+        if pending:
+            yield AllOf(self.sim, pending)
+
+    def _submit(self, disk: int, command: DiskCommand, source: str):
+        request = IORequest(command, priority=PriorityClass.BE, source=source)
+        return self.devices[disk].submit(request)

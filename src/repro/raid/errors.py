@@ -1,0 +1,67 @@
+"""Latent-sector-error bookkeeping for array members.
+
+An :class:`ErrorMap` tracks, per disk, which sectors currently hold
+latent errors.  LSEs are *latent*: they are only discovered when the
+sector is read or verified.  A scrubber's ``VERIFY`` that covers a bad
+sector detects it, after which the array repairs it from redundancy
+(we model repair as instantaneous relative to scrub pass times, which
+matches how per-sector reconstruction costs compare to full passes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+
+class ErrorMap:
+    """Bad-sector sets for every member disk of an array."""
+
+    def __init__(self, disks: int) -> None:
+        if disks <= 0:
+            raise ValueError(f"disks must be positive: {disks}")
+        self._bad: List[Set[int]] = [set() for _ in range(disks)]
+        self.injected = 0
+        self.repaired = 0
+
+    def inject(self, disk: int, lbn: int, sectors: int = 1) -> None:
+        """Mark ``sectors`` sectors starting at ``lbn`` as latent errors."""
+        self._check_disk(disk)
+        if lbn < 0 or sectors <= 0:
+            raise ValueError(f"bad extent: lbn={lbn} sectors={sectors}")
+        before = len(self._bad[disk])
+        self._bad[disk].update(range(lbn, lbn + sectors))
+        self.injected += len(self._bad[disk]) - before
+
+    def scan(self, disk: int, lbn: int, sectors: int) -> List[int]:
+        """Bad sectors of ``disk`` within ``[lbn, lbn+sectors)``.
+
+        This is what a READ or VERIFY discovers.
+        """
+        self._check_disk(disk)
+        bad = self._bad[disk]
+        if len(bad) <= sectors:
+            return sorted(s for s in bad if lbn <= s < lbn + sectors)
+        return [s for s in range(lbn, lbn + sectors) if s in bad]
+
+    def repair(self, disk: int, sectors: Iterable[int]) -> None:
+        """Clear repaired sectors (reconstructed from redundancy)."""
+        self._check_disk(disk)
+        for sector in sectors:
+            if sector in self._bad[disk]:
+                self._bad[disk].discard(sector)
+                self.repaired += 1
+
+    def clear_disk(self, disk: int) -> None:
+        """Forget a disk's errors (it was replaced)."""
+        self._check_disk(disk)
+        self._bad[disk].clear()
+
+    def bad_count(self, disk: int = None) -> int:
+        if disk is None:
+            return sum(len(b) for b in self._bad)
+        self._check_disk(disk)
+        return len(self._bad[disk])
+
+    def _check_disk(self, disk: int) -> None:
+        if not 0 <= disk < len(self._bad):
+            raise ValueError(f"disk index out of range: {disk}")

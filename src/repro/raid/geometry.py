@@ -1,0 +1,192 @@
+"""RAID striping geometry: logical extents to per-disk extents.
+
+Supports the three layouts relevant to scrubbing studies:
+
+* **RAID-0** — plain striping (no redundancy; useful as a baseline);
+* **RAID-1** — mirroring over two disks;
+* **RAID-5** — block-rotated parity (left-symmetric): in stripe ``s``,
+  the parity chunk lives on disk ``(n-1) - (s mod n)`` and data chunks
+  fill the remaining disks in order.
+
+All mappings are pure functions so they can be tested exhaustively.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+class RaidLevel(enum.Enum):
+    RAID0 = "raid0"
+    RAID1 = "raid1"
+    RAID5 = "raid5"
+
+
+@dataclass(frozen=True)
+class ChunkLocation:
+    """One physical chunk backing part of a logical extent."""
+
+    disk: int
+    lbn: int
+    sectors: int
+    #: Offset of this chunk's first sector within the logical extent.
+    logical_offset: int
+
+
+class RaidGeometry:
+    """Striping arithmetic for an array of ``disks`` equal-size members.
+
+    Parameters
+    ----------
+    level:
+        RAID level.
+    disks:
+        Member count (RAID-1 requires exactly 2; RAID-5 at least 3).
+    chunk_sectors:
+        Stripe unit in sectors.
+    disk_sectors:
+        Usable sectors per member disk.
+    """
+
+    def __init__(
+        self,
+        level: RaidLevel,
+        disks: int,
+        chunk_sectors: int,
+        disk_sectors: int,
+    ) -> None:
+        if chunk_sectors <= 0 or disk_sectors <= 0:
+            raise ValueError("chunk_sectors and disk_sectors must be positive")
+        if disk_sectors % chunk_sectors:
+            raise ValueError("disk_sectors must be a multiple of chunk_sectors")
+        if level is RaidLevel.RAID1 and disks != 2:
+            raise ValueError("RAID-1 here means a 2-way mirror")
+        if level is RaidLevel.RAID5 and disks < 3:
+            raise ValueError("RAID-5 needs at least 3 disks")
+        if level is RaidLevel.RAID0 and disks < 2:
+            raise ValueError("RAID-0 needs at least 2 disks")
+        self.level = level
+        self.disks = disks
+        self.chunk_sectors = chunk_sectors
+        self.disk_sectors = disk_sectors
+
+    # -- capacity -----------------------------------------------------------
+    @property
+    def data_disks(self) -> int:
+        if self.level is RaidLevel.RAID0:
+            return self.disks
+        if self.level is RaidLevel.RAID1:
+            return 1
+        return self.disks - 1
+
+    @property
+    def stripes(self) -> int:
+        return self.disk_sectors // self.chunk_sectors
+
+    @property
+    def total_data_sectors(self) -> int:
+        return self.stripes * self.data_disks * self.chunk_sectors
+
+    # -- RAID-5 layout ---------------------------------------------------------
+    def parity_disk(self, stripe: int) -> int:
+        """Disk holding the parity chunk of ``stripe`` (RAID-5 only)."""
+        if self.level is not RaidLevel.RAID5:
+            raise ValueError(f"{self.level} has no rotating parity")
+        return (self.disks - 1) - (stripe % self.disks)
+
+    def _data_disk(self, stripe: int, index: int) -> int:
+        """Disk holding data chunk ``index`` of ``stripe`` (RAID-5)."""
+        parity = self.parity_disk(stripe)
+        # Left-symmetric: data starts just after the parity disk, wrapping.
+        return (parity + 1 + index) % self.disks
+
+    # -- mapping ------------------------------------------------------------------
+    def map_read(self, lbn: int, sectors: int) -> List[ChunkLocation]:
+        """Physical chunks to read for logical extent ``[lbn, lbn+sectors)``.
+
+        For RAID-1 reads, the primary (disk 0) copy is returned; callers
+        balancing across mirrors can flip the disk index.
+        """
+        self._check_extent(lbn, sectors)
+        chunks = []
+        offset = 0
+        while sectors > 0:
+            chunk_index, within = divmod(lbn, self.chunk_sectors)
+            take = min(sectors, self.chunk_sectors - within)
+            stripe, data_index = divmod(chunk_index, self.data_disks)
+            disk, physical = self._locate(stripe, data_index, within)
+            chunks.append(
+                ChunkLocation(
+                    disk=disk, lbn=physical, sectors=take, logical_offset=offset
+                )
+            )
+            lbn += take
+            offset += take
+            sectors -= take
+        return chunks
+
+    def map_write(self, lbn: int, sectors: int) -> List[ChunkLocation]:
+        """Physical chunks *written* for a logical write (data + parity +
+        mirror copies).  Parity chunks carry ``logical_offset=-1``."""
+        self._check_extent(lbn, sectors)
+        writes = list(self.map_read(lbn, sectors))
+        if self.level is RaidLevel.RAID1:
+            writes += [
+                ChunkLocation(1, c.lbn, c.sectors, c.logical_offset)
+                for c in self.map_read(lbn, sectors)
+            ]
+        elif self.level is RaidLevel.RAID5:
+            seen = set()
+            for chunk in self.map_read(lbn, sectors):
+                stripe = chunk.lbn // self.chunk_sectors
+                within = chunk.lbn % self.chunk_sectors
+                key = (stripe, within, chunk.sectors)
+                if key in seen:
+                    continue
+                seen.add(key)
+                writes.append(
+                    ChunkLocation(
+                        disk=self.parity_disk(stripe),
+                        lbn=chunk.lbn,
+                        sectors=chunk.sectors,
+                        logical_offset=-1,
+                    )
+                )
+        return writes
+
+    def stripe_members(self, stripe: int) -> List[ChunkLocation]:
+        """All physical chunks of ``stripe`` (used by rebuild)."""
+        if not 0 <= stripe < self.stripes:
+            raise ValueError(f"stripe out of range: {stripe}")
+        base = stripe * self.chunk_sectors
+        if self.level is RaidLevel.RAID1:
+            return [
+                ChunkLocation(d, base, self.chunk_sectors, 0) for d in (0, 1)
+            ]
+        return [
+            ChunkLocation(d, base, self.chunk_sectors, -1)
+            for d in range(self.disks)
+        ]
+
+    def _locate(
+        self, stripe: int, data_index: int, within: int
+    ) -> Tuple[int, int]:
+        physical = stripe * self.chunk_sectors + within
+        if physical >= self.disk_sectors:
+            raise ValueError("logical address beyond array capacity")
+        if self.level is RaidLevel.RAID0:
+            return data_index, physical
+        if self.level is RaidLevel.RAID1:
+            return 0, physical
+        return self._data_disk(stripe, data_index), physical
+
+    def _check_extent(self, lbn: int, sectors: int) -> None:
+        if lbn < 0 or sectors <= 0:
+            raise ValueError(f"bad extent: lbn={lbn} sectors={sectors}")
+        if lbn + sectors > self.total_data_sectors:
+            raise ValueError(
+                f"extent [{lbn}, {lbn + sectors}) exceeds array capacity "
+                f"{self.total_data_sectors}"
+            )

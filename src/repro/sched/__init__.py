@@ -1,0 +1,38 @@
+"""I/O scheduler substrate.
+
+Models the Linux 2.6.35 block layer pieces the paper depends on:
+
+* :class:`~repro.sched.request.IORequest` — a block request with a
+  priority class and an optional *soft barrier* flag.  User-level
+  scrubbers issue ``VERIFY`` via ``ioctl``, which the kernel flags as a
+  soft barrier: it cannot be sorted or merged and pins queue order
+  (Section III-C).  The kernel scrubber instead disguises its verifies
+  as reads, so they participate in normal scheduling.
+* :class:`~repro.sched.cfq.CFQScheduler` — a CFQ-like scheduler with
+  RT/BE/Idle classes, Idle-class dispatch gated on the disk having been
+  free of foreground traffic for ``idle_gate`` seconds (Section III-B),
+  and BE slice behaviour that reproduces the foreground starvation the
+  paper observes for same-priority back-to-back scrubbing.
+* :class:`~repro.sched.noop.NoopScheduler` and
+  :class:`~repro.sched.deadline.DeadlineScheduler` — baselines.
+* :class:`~repro.sched.device.BlockDevice` — binds a simulation, a
+  drive and a scheduler; collects a complete request log.
+"""
+
+from repro.sched.cfq import CFQScheduler
+from repro.sched.deadline import DeadlineScheduler
+from repro.sched.device import BlockDevice, RequestLog
+from repro.sched.elevator import ElevatorQueue
+from repro.sched.noop import NoopScheduler
+from repro.sched.request import IORequest, PriorityClass
+
+__all__ = [
+    "BlockDevice",
+    "CFQScheduler",
+    "DeadlineScheduler",
+    "ElevatorQueue",
+    "IORequest",
+    "NoopScheduler",
+    "PriorityClass",
+    "RequestLog",
+]

@@ -1,0 +1,47 @@
+"""Scheduler interface shared by NOOP, Deadline and CFQ.
+
+A scheduler is a passive policy object driven by the
+:class:`~repro.sched.device.BlockDevice` dispatcher:
+
+* :meth:`add` — a request was submitted;
+* :meth:`select` — pick the next request to dispatch, or report when to
+  re-evaluate (for time-gated policies like CFQ's Idle class);
+* :meth:`on_dispatch` / :meth:`on_complete` — lifecycle notifications
+  used for idle accounting and head-position tracking.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.sched.request import IORequest
+
+#: ``select`` result: (request or None, absolute re-check time or None).
+Selection = Tuple[Optional[IORequest], Optional[float]]
+
+
+class IOSchedulerBase:
+    """Base class; concrete schedulers override the four hooks."""
+
+    name = "base"
+
+    def add(self, request: IORequest, now: float) -> None:
+        raise NotImplementedError
+
+    def select(self, now: float) -> Selection:
+        """Choose the next request.
+
+        Returns ``(request, None)`` to dispatch, ``(None, t)`` to sleep
+        until time ``t`` (or an earlier wakeup), or ``(None, None)`` to
+        sleep until the next submission/completion.
+        """
+        raise NotImplementedError
+
+    def on_dispatch(self, request: IORequest, now: float) -> None:
+        """Called when ``request`` goes to the drive."""
+
+    def on_complete(self, request: IORequest, now: float) -> None:
+        """Called when ``request`` finishes at the drive."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError

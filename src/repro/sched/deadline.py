@@ -1,0 +1,58 @@
+"""Deadline scheduler: elevator order with per-request expiry.
+
+A simplified version of the Linux deadline scheduler: requests are
+served in C-LOOK order, but each carries a deadline (``read_expire`` /
+``write_expire`` after submission); when the oldest request has
+expired, the elevator jumps to it.  Included as an ablation baseline —
+it has no prioritisation, so it cannot protect foreground traffic from
+a scrubber, which is the paper's point about scheduler support.
+"""
+
+from __future__ import annotations
+
+from repro.disk.commands import Opcode
+from repro.sched.base import IOSchedulerBase, Selection
+from repro.sched.elevator import ElevatorQueue
+from repro.sched.request import IORequest
+
+
+class DeadlineScheduler(IOSchedulerBase):
+    """C-LOOK with expiry-driven jumps."""
+
+    name = "deadline"
+
+    def __init__(self, read_expire: float = 0.5, write_expire: float = 5.0) -> None:
+        if read_expire <= 0 or write_expire <= 0:
+            raise ValueError("expiry times must be positive")
+        self.read_expire = read_expire
+        self.write_expire = write_expire
+        self._elevator = ElevatorQueue()
+        self._deadlines = {}
+        self._position = 0
+
+    def add(self, request: IORequest, now: float) -> None:
+        expire = (
+            self.write_expire
+            if request.command.opcode is Opcode.WRITE
+            else self.read_expire
+        )
+        self._deadlines[request] = now + expire
+        self._elevator.add(request)
+
+    def select(self, now: float) -> Selection:
+        if not self._elevator:
+            return None, None
+        oldest = self._elevator.oldest()
+        if self._deadlines[oldest] <= now:
+            choice = oldest
+            self._elevator.remove(oldest)
+        else:
+            choice = self._elevator.pop(self._position)
+        del self._deadlines[choice]
+        return choice, None
+
+    def on_dispatch(self, request: IORequest, now: float) -> None:
+        self._position = request.command.end_lbn
+
+    def __len__(self) -> int:
+        return len(self._elevator)

@@ -1,0 +1,157 @@
+"""The block device: simulation glue between workloads, scheduler and drive.
+
+:class:`BlockDevice` owns a dispatcher process that repeatedly asks the
+scheduler for the next request, runs it on the (single-server) drive,
+and fires the request's completion event.  Every completed request is
+appended to a :class:`RequestLog` for analysis — the logs are the raw
+material for all of the paper's throughput and response-time figures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.disk.drive import Drive
+from repro.sched.base import IOSchedulerBase
+from repro.sched.request import IORequest
+from repro.sim import AnyOf, Event, Simulation
+
+
+class RequestLog:
+    """Completed-request archive with aggregate accessors."""
+
+    def __init__(self) -> None:
+        self._records: List[IORequest] = []
+
+    def add(self, request: IORequest) -> None:
+        self._records.append(request)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def requests(self, source: Optional[str] = None) -> Iterable[IORequest]:
+        """All completed requests, optionally filtered by source."""
+        if source is None:
+            return list(self._records)
+        return [r for r in self._records if r.source == source]
+
+    def response_times(self, source: Optional[str] = None) -> np.ndarray:
+        return np.array(
+            [r.response_time for r in self.requests(source)], dtype=float
+        )
+
+    def wait_times(self, source: Optional[str] = None) -> np.ndarray:
+        return np.array([r.wait_time for r in self.requests(source)], dtype=float)
+
+    def bytes_completed(self, source: Optional[str] = None) -> int:
+        return sum(r.bytes for r in self.requests(source))
+
+    def throughput(self, duration: float, source: Optional[str] = None) -> float:
+        """Mean completed bytes/second over ``duration`` seconds."""
+        if duration <= 0:
+            raise ValueError(f"duration must be positive: {duration}")
+        return self.bytes_completed(source) / duration
+
+    def count(self, source: Optional[str] = None) -> int:
+        return len(self.requests(source)) if source else len(self._records)
+
+
+class BlockDevice:
+    """A drive fronted by an I/O scheduler inside a simulation.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulation.
+    drive:
+        The drive timing model (single request at a time).
+    scheduler:
+        Queueing/dispatch policy.
+    """
+
+    def __init__(
+        self, sim: Simulation, drive: Drive, scheduler: IOSchedulerBase
+    ) -> None:
+        self.sim = sim
+        self.drive = drive
+        self.scheduler = scheduler
+        self.log = RequestLog()
+        #: Callables ``(kind, request, now)`` invoked on "submit" and
+        #: "complete" — used by self-scheduling components (e.g. the
+        #: Waiting scrubber) to watch foreground activity.
+        self.observers: List = []
+        self.busy = False
+        self.busy_since: Optional[float] = None
+        self.total_busy_time = 0.0
+        self._wakeup: Event = sim.event()
+        self._dispatcher_proc = sim.process(self._dispatcher())
+
+    # -- public API ------------------------------------------------------------
+    def submit(self, request: IORequest) -> Event:
+        """Queue ``request``; returns its completion event."""
+        if request.submit_time is not None:
+            raise ValueError(f"{request!r} was already submitted")
+        request.stamp_submit(self.sim.now)
+        request.completion = self.sim.event()
+        self.scheduler.add(request, self.sim.now)
+        for observer in self.observers:
+            observer("submit", request, self.sim.now)
+        self._kick()
+        return request.completion
+
+    @property
+    def queued(self) -> int:
+        """Requests waiting in the scheduler (excludes the one in flight)."""
+        return len(self.scheduler)
+
+    def utilisation(self, duration: float) -> float:
+        """Fraction of ``duration`` the drive spent servicing requests."""
+        if duration <= 0:
+            raise ValueError(f"duration must be positive: {duration}")
+        busy = self.total_busy_time
+        if self.busy and self.busy_since is not None:
+            busy += self.sim.now - self.busy_since
+        return busy / duration
+
+    # -- dispatcher ----------------------------------------------------------------
+    def _kick(self) -> None:
+        if not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    def _dispatcher(self):
+        sim = self.sim
+        while True:
+            request, recheck = self.scheduler.select(sim.now)
+            if request is None:
+                if recheck is not None and recheck <= sim.now:
+                    raise RuntimeError(
+                        f"scheduler {self.scheduler.name} asked to re-check "
+                        f"at {recheck} which is not in the future ({sim.now})"
+                    )
+                if recheck is None:
+                    yield self._wakeup
+                else:
+                    yield AnyOf(sim, [sim.timeout(recheck - sim.now), self._wakeup])
+                if self._wakeup.triggered:
+                    self._wakeup = sim.event()
+                continue
+
+            request.dispatch_time = sim.now
+            self.scheduler.on_dispatch(request, sim.now)
+            breakdown = self.drive.service(request.command, sim.now)
+            self.busy = True
+            self.busy_since = sim.now
+            yield sim.timeout(breakdown.finish - sim.now)
+            self.busy = False
+            self.total_busy_time += sim.now - self.busy_since
+            self.busy_since = None
+
+            request.complete_time = sim.now
+            request.breakdown = breakdown
+            self.scheduler.on_complete(request, sim.now)
+            self.log.add(request)
+            for observer in self.observers:
+                observer("complete", request, sim.now)
+            request.completion.succeed(request)

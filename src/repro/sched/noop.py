@@ -1,0 +1,33 @@
+"""NOOP scheduler: plain FIFO, no sorting, no prioritisation.
+
+Useful as a baseline and as the simplest correct scheduler for unit
+tests of the block-device plumbing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.sched.base import IOSchedulerBase, Selection
+from repro.sched.request import IORequest
+
+
+class NoopScheduler(IOSchedulerBase):
+    """Dispatch strictly in submission order."""
+
+    name = "noop"
+
+    def __init__(self) -> None:
+        self._queue: Deque[IORequest] = deque()
+
+    def add(self, request: IORequest, now: float) -> None:
+        self._queue.append(request)
+
+    def select(self, now: float) -> Selection:
+        if self._queue:
+            return self._queue.popleft(), None
+        return None, None
+
+    def __len__(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,151 @@
+"""The discrete-event simulation engine.
+
+:class:`Simulation` owns the virtual clock and the event queue.  Events
+are processed in ``(time, priority, sequence)`` order, so simultaneous
+events fire deterministically in scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Optional
+
+from repro.sim.events import Event, Timeout
+from repro.sim.process import Process
+
+#: Default event priority.  Lower fires first among same-time events.
+NORMAL = 1
+#: Priority for urgent events (e.g. interrupts).
+URGENT = 0
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`Simulation.run` early."""
+
+    @classmethod
+    def callback(cls, event: Event) -> None:
+        """Event callback that stops the simulation with the event value."""
+        if event.ok:
+            raise cls(event.value)
+        raise event.value
+
+
+class EmptySchedule(Exception):
+    """Raised when the event queue has run dry."""
+
+
+class Simulation:
+    """A single, self-contained discrete-event simulation.
+
+    Parameters
+    ----------
+    start:
+        Initial value of the simulation clock (default 0).
+
+    Examples
+    --------
+    >>> sim = Simulation()
+    >>> def proc(sim):
+    ...     yield sim.timeout(3)
+    ...     return "done"
+    >>> p = sim.process(proc(sim))
+    >>> sim.run()
+    >>> sim.now
+    3.0
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._queue: list = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending :class:`Event` bound to this simulation."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator)
+
+    # -- scheduling ----------------------------------------------------------
+    def _enqueue(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Insert a triggered event into the queue (engine-internal)."""
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def schedule_interrupt(self, event: Event) -> None:
+        """Queue ``event`` ahead of same-time normal events."""
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now, URGENT, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise EmptySchedule()
+        self._now, _, _, event = heapq.heappop(self._queue)
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            raise event.value
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run until ``until`` (a time, an :class:`Event`, or queue-empty).
+
+        Parameters
+        ----------
+        until:
+            ``None`` runs until no events remain.  A number runs until the
+            clock reaches that time.  An :class:`Event` runs until that
+            event is processed and returns its value.
+        """
+        stop_value: Any = None
+        if until is not None:
+            if isinstance(until, Event):
+                if until.callbacks is None:
+                    # Already processed: nothing to run.
+                    return until.value
+                until.callbacks.append(StopSimulation.callback)
+            else:
+                deadline = float(until)
+                if deadline < self._now:
+                    raise ValueError(
+                        f"until={deadline} lies in the past (now={self._now})"
+                    )
+                marker = Event(self)
+                marker._ok = True
+                marker._value = None
+                marker.callbacks.append(StopSimulation.callback)
+                self._seq += 1
+                heapq.heappush(self._queue, (deadline, URGENT, self._seq, marker))
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            stop_value = stop.args[0] if stop.args else None
+        except EmptySchedule:
+            if isinstance(until, Event) and not until.triggered:
+                raise RuntimeError(
+                    "simulation ran out of events before the awaited event fired"
+                ) from None
+        return stop_value

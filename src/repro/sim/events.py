@@ -1,0 +1,185 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` is a one-shot occurrence with a value.  Processes wait
+on events by ``yield``\\ ing them; arbitrary callbacks may also be
+attached.  :class:`Timeout` is an event scheduled a fixed delay in the
+future.  :class:`AnyOf` / :class:`AllOf` compose events.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional
+
+#: Sentinel for "event has no value yet".
+_PENDING = object()
+
+
+class Event:
+    """A one-shot event that can succeed or fail exactly once.
+
+    Parameters
+    ----------
+    sim:
+        The owning :class:`~repro.sim.engine.Simulation`.
+
+    Notes
+    -----
+    The lifecycle is ``pending -> triggered -> processed``:
+
+    * *pending*: freshly created, may have callbacks attached;
+    * *triggered*: :meth:`succeed` or :meth:`fail` has been called and the
+      event sits in the simulation queue;
+    * *processed*: the engine has popped the event and run its callbacks.
+    """
+
+    def __init__(self, sim: "Simulation") -> None:  # noqa: F821
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        #: Set when a failure value was retrieved or handled, used to
+        #: surface unhandled simulation-time exceptions.
+        self._defused = False
+
+    # -- state predicates ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether :meth:`succeed` or :meth:`fail` has been called."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """Whether the engine has already run this event's callbacks."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """``True`` if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise RuntimeError(f"{self!r} has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or failure exception)."""
+        if self._value is _PENDING:
+            raise RuntimeError(f"{self!r} has not been triggered yet")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._enqueue(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.sim._enqueue(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another (callback helper)."""
+        if event.ok:
+            self.succeed(event.value)
+        else:
+            event._defused = True
+            self.fail(event.value)
+
+    # -- composition -----------------------------------------------------
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.sim, [self, other])
+
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.sim, [self, other])
+
+    def __repr__(self) -> str:
+        state = (
+            "processed" if self.processed
+            else "triggered" if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    def __init__(self, sim: "Simulation", delay: float, value: Any = None) -> None:  # noqa: F821
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = float(delay)
+        self._ok = True
+        self._value = value
+        sim._enqueue(self, delay=self.delay)
+
+
+class _Condition(Event):
+    """Base for :class:`AnyOf` / :class:`AllOf`."""
+
+    def __init__(self, sim: "Simulation", events: Iterable[Event]) -> None:  # noqa: F821
+        super().__init__(sim)
+        self.events = list(events)
+        for event in self.events:
+            if event.sim is not sim:
+                raise ValueError("cannot mix events from different simulations")
+        #: Number of constituent events already *processed* successfully.
+        self._count = 0
+        for event in self.events:
+            if event.processed:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+        if not self.triggered and self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:
+        raise NotImplementedError
+
+    def _collect(self) -> dict:
+        return {
+            event: event.value
+            for event in self.events
+            if event.processed and event.ok
+        }
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event.ok:
+                event._defused = True
+            return
+        if not event.ok:
+            event._defused = True
+            self.fail(event.value)
+            return
+        self._count += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any constituent event has been processed.
+
+    An ``AnyOf`` over zero events fires immediately (vacuous truth
+    mirrors :class:`AllOf`'s behaviour for symmetry with SimPy).
+    """
+
+    def _satisfied(self) -> bool:
+        return self._count >= 1 or not self.events
+
+
+class AllOf(_Condition):
+    """Fires once every constituent event has been processed."""
+
+    def _satisfied(self) -> bool:
+        return self._count >= len(self.events)

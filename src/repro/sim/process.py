@@ -1,0 +1,130 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` drives a Python generator: each value the generator
+yields must be an :class:`~repro.sim.events.Event`; the process resumes
+when that event fires (receiving the event's value, or the failure
+exception thrown into the generator).  A process is itself an event that
+fires when the generator returns, so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.sim.events import _PENDING, Event
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value given by the interrupter.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+
+class Process(Event):
+    """An event representing a running generator-based process."""
+
+    def __init__(self, sim: "Simulation", generator: Generator) -> None:  # noqa: F821
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(sim)
+        self._generator = generator
+        #: The event this process is currently waiting on, if any.
+        self._target: Event = None
+        # Kick off the process via an immediately-scheduled init event.
+        init = Event(sim)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        sim._enqueue(init)
+        self._target = init
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` while the generator has not finished."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a
+        process while it waits detaches it from its target event.
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has already finished")
+        if self.sim.active_process is self:
+            raise RuntimeError("a process cannot interrupt itself")
+        event = Event(self.sim)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks.append(self._resume)
+        self.sim.schedule_interrupt(event)
+
+    # -- engine callback ---------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the fired event's outcome."""
+        self.sim._active_process = self
+        # If we were interrupted while waiting, forget the original target
+        # (its eventual firing must no longer resume us).
+        if self._target is not None and self._target is not event:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        while True:
+            try:
+                if event.ok:
+                    target = self._generator.send(event.value)
+                else:
+                    event._defused = True
+                    target = self._generator.throw(event.value)
+            except StopIteration as stop:
+                self._target = None
+                self.sim._active_process = None
+                self.succeed(getattr(stop, "value", None))
+                return
+            except Interrupt as exc:
+                # The generator re-raised an interrupt it did not handle.
+                self._target = None
+                self.sim._active_process = None
+                self._defused = True
+                self.fail(exc)
+                return
+            except BaseException as exc:
+                self._target = None
+                self.sim._active_process = None
+                self.fail(exc)
+                return
+            if not isinstance(target, Event):
+                exc = RuntimeError(
+                    f"process yielded a non-event: {target!r}"
+                )
+                event = Event(self.sim)
+                event._ok = False
+                event._value = exc
+                event._defused = True
+                continue
+            if target.sim is not self.sim:
+                exc = RuntimeError("process yielded an event from another simulation")
+                event = Event(self.sim)
+                event._ok = False
+                event._value = exc
+                event._defused = True
+                continue
+            if target.processed:
+                # Already fired: resume immediately with its value.
+                event = target
+                continue
+            target.callbacks.append(self._resume)
+            self._target = target
+            break
+        self.sim._active_process = None

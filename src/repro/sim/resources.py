@@ -1,0 +1,123 @@
+"""Shared resources for simulation processes.
+
+:class:`Resource` is a counted resource with FIFO queueing (e.g. a disk
+that serves one request at a time).  :class:`Store` is an unbounded
+FIFO buffer of items with blocking ``get``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from repro.sim.events import Event
+
+
+class _Request(Event):
+    """Event granted when the resource has a free slot."""
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.sim)
+        self.resource = resource
+        resource._queue.append(self)
+        resource._trigger_pending()
+
+    def __enter__(self) -> "_Request":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A resource with ``capacity`` concurrent slots and a FIFO wait queue.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        try:
+            ...  # hold the resource
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, sim: "Simulation", capacity: int = 1) -> None:  # noqa: F821
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._queue: Deque[_Request] = deque()
+        self._users: list = []
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def request(self) -> _Request:
+        """Request a slot; the returned event fires when granted."""
+        return _Request(self)
+
+    def release(self, request: _Request) -> None:
+        """Release a previously granted slot."""
+        try:
+            self._users.remove(request)
+        except ValueError:
+            raise RuntimeError(f"{request!r} does not hold this resource") from None
+        self._trigger_pending()
+
+    def cancel(self, request: _Request) -> None:
+        """Withdraw a not-yet-granted request from the wait queue."""
+        try:
+            self._queue.remove(request)
+        except ValueError:
+            raise RuntimeError(f"{request!r} is not waiting on this resource") from None
+
+    def _trigger_pending(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            request = self._queue.popleft()
+            self._users.append(request)
+            request.succeed()
+
+
+class _Get(Event):
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store.sim)
+        store._getters.append(self)
+        store._dispatch()
+
+
+class Store:
+    """An unbounded FIFO item buffer with blocking retrieval.
+
+    ``put`` never blocks; ``get`` returns an event firing with the next
+    item (possibly immediately).
+    """
+
+    def __init__(self, sim: "Simulation") -> None:  # noqa: F821
+        self.sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[_Get] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``, waking the oldest waiting getter if any."""
+        self._items.append(item)
+        self._dispatch()
+
+    def get(self) -> _Get:
+        """Return an event that fires with the next available item."""
+        return _Get(self)
+
+    def _dispatch(self) -> None:
+        while self._items and self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(self._items.popleft())

@@ -1,0 +1,102 @@
+"""Autocorrelation and long-range dependence estimators.
+
+The paper reports that 44 of its 63 busiest traces show strong
+autocorrelation in idle-interval lengths, and cites prior Hurst
+parameter evidence (H > 0.5) for disk workloads.  Both estimators are
+implemented here: the sample ACF (FFT-based, so million-sample series
+are fine) and an aggregated-variance Hurst estimator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats as sp_stats
+
+
+def acf(x: np.ndarray, max_lag: int) -> np.ndarray:
+    """Sample autocorrelation function for lags ``0..max_lag``.
+
+    Uses the FFT (Wiener–Khinchin) with the biased normalisation, the
+    standard choice that keeps the estimated sequence positive
+    semi-definite.
+    """
+    x = np.asarray(x, dtype=float)
+    n = len(x)
+    if n < 2:
+        raise ValueError(f"need at least 2 samples, got {n}")
+    if not 0 <= max_lag < n:
+        raise ValueError(f"max_lag must lie in [0, {n}): {max_lag}")
+    centred = x - x.mean()
+    size = int(2 ** np.ceil(np.log2(2 * n - 1)))
+    spectrum = np.fft.rfft(centred, size)
+    autocov = np.fft.irfft(spectrum * np.conj(spectrum), size)[: max_lag + 1]
+    autocov /= n
+    if autocov[0] == 0:
+        raise ValueError("series has zero variance")
+    return autocov / autocov[0]
+
+
+def has_significant_autocorrelation(
+    x: np.ndarray,
+    lags: int = 10,
+    threshold_sigma: float = 2.0,
+    method: str = "rank",
+) -> bool:
+    """Whether early ACF values exceed the white-noise confidence band.
+
+    For white noise the ACF at non-zero lags is ~N(0, 1/n); we call the
+    series autocorrelated if the mean of the first ``lags`` absolute
+    autocorrelations exceeds ``threshold_sigma / sqrt(n)``.
+
+    ``method="rank"`` (default) computes the ACF of the rank-transformed
+    series (a lag-wise Spearman correlation).  Idle-time samples have
+    CoVs of 10–200, and the linear ACF of such heavy-tailed data is
+    dominated by a handful of extreme values — the rank ACF is the
+    standard robust alternative.
+    """
+    x = np.asarray(x, dtype=float)
+    if len(x) <= lags:
+        raise ValueError("series too short for the requested lags")
+    if method == "rank":
+        x = sp_stats.rankdata(x)
+    elif method != "linear":
+        raise ValueError(f"unknown method: {method!r}")
+    values = acf(x, lags)[1:]
+    band = threshold_sigma / np.sqrt(len(x))
+    return bool(np.mean(np.abs(values)) > band)
+
+
+def hurst_exponent(
+    x: np.ndarray, min_block: int = 8, num_scales: int = 12
+) -> float:
+    """Aggregated-variance Hurst estimator.
+
+    For a self-similar process, the variance of block means over blocks
+    of size ``m`` scales as ``m^(2H-2)``; ``H`` is recovered from the
+    slope of ``log Var(m)`` against ``log m``.  ``H = 0.5`` is
+    short-range dependence; ``H > 0.5`` indicates long-range dependence.
+    """
+    x = np.asarray(x, dtype=float)
+    n = len(x)
+    if n < 4 * min_block:
+        raise ValueError(f"series too short for Hurst estimation: {n}")
+    max_block = n // 4
+    blocks = np.unique(
+        np.geomspace(min_block, max_block, num_scales).astype(int)
+    )
+    log_m, log_var = [], []
+    for m in blocks:
+        usable = (n // m) * m
+        means = x[:usable].reshape(-1, m).mean(axis=1)
+        if len(means) < 2:
+            continue
+        variance = means.var()
+        if variance <= 0:
+            continue
+        log_m.append(np.log(m))
+        log_var.append(np.log(variance))
+    if len(log_m) < 3:
+        raise ValueError("not enough usable scales for Hurst estimation")
+    slope = np.polyfit(log_m, log_var, 1)[0]
+    hurst = 1.0 + slope / 2.0
+    return float(np.clip(hurst, 0.0, 1.0))

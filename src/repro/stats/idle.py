@@ -1,0 +1,65 @@
+"""Idle-interval summary statistics (paper Table II).
+
+The paper characterises each trace's idle-interval duration
+distribution by its mean, variance and coefficient of variation; a CoV
+far above 1 (the exponential distribution's CoV) signals the heavy
+tails and decreasing hazard rates that make wait-based scheduling
+work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class IdleStats:
+    """Summary of an idle-interval duration sample."""
+
+    count: int
+    mean: float
+    variance: float
+    cov: float
+    total_idle: float
+    #: Fraction of the observation span spent idle (None if span unknown).
+    idle_fraction: Optional[float] = None
+
+    @property
+    def is_memoryless_like(self) -> bool:
+        """CoV close to 1, as an exponential distribution would give."""
+        return 0.5 <= self.cov <= 1.5
+
+
+def summarize_idle(
+    durations: np.ndarray, span: Optional[float] = None
+) -> IdleStats:
+    """Compute Table II statistics for a sample of idle durations.
+
+    Parameters
+    ----------
+    durations:
+        Idle interval lengths (seconds), all positive.
+    span:
+        Total observation time, for the idle fraction (optional).
+    """
+    durations = np.asarray(durations, dtype=float)
+    if len(durations) == 0:
+        raise ValueError("cannot summarise an empty idle sample")
+    if np.any(durations <= 0):
+        raise ValueError("idle durations must be positive")
+    if span is not None and span <= 0:
+        raise ValueError(f"span must be positive: {span}")
+    mean = float(durations.mean())
+    variance = float(durations.var())
+    total = float(durations.sum())
+    return IdleStats(
+        count=len(durations),
+        mean=mean,
+        variance=variance,
+        cov=float(np.sqrt(variance) / mean),
+        total_idle=total,
+        idle_fraction=None if span is None else min(1.0, total / span),
+    )

@@ -1,0 +1,94 @@
+"""Idle-interval extraction from arrival traces.
+
+Block traces record *arrivals*; idleness additionally depends on how
+long each request keeps the disk busy.  Following the paper's analysis
+methodology, we reconstruct busy periods with a service-time model and
+report the gaps between them.  The recurrence
+
+    busy_i = max(busy_{i-1}, t_i) + s_i
+
+is evaluated in closed form (``busy_i = S_i + max_j (t_j - S_{j-1})``
+with ``S`` the service prefix sum), so extraction is a handful of
+vectorised passes even for multi-million-request traces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.traces.record import Trace
+
+#: Default per-request service model: fixed positioning plus transfer.
+DEFAULT_POSITIONING = 0.004  # seconds
+DEFAULT_TRANSFER_RATE = 100e6  # bytes/second
+
+
+def service_times(
+    sectors: np.ndarray,
+    positioning: float = DEFAULT_POSITIONING,
+    transfer_rate: float = DEFAULT_TRANSFER_RATE,
+) -> np.ndarray:
+    """Nominal service time per request: positioning + size/rate."""
+    if positioning < 0 or transfer_rate <= 0:
+        raise ValueError("invalid service model parameters")
+    return positioning + np.asarray(sectors, dtype=float) * 512.0 / transfer_rate
+
+
+def idle_intervals(
+    times: np.ndarray,
+    service: Optional[np.ndarray] = None,
+    min_duration: float = 0.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Compute idle intervals from arrival times and service times.
+
+    Parameters
+    ----------
+    times:
+        Non-decreasing arrival times.
+    service:
+        Per-request service times; a scalar default of
+        ``DEFAULT_POSITIONING`` per request if omitted.
+    min_duration:
+        Discard intervals shorter than this.
+
+    Returns
+    -------
+    (starts, durations):
+        Idle interval start times and lengths.  An interval starts when
+        the disk drains and ends at the next arrival.
+    """
+    times = np.asarray(times, dtype=float)
+    if len(times) < 2:
+        return np.zeros(0), np.zeros(0)
+    if np.any(np.diff(times) < 0):
+        raise ValueError("times must be non-decreasing")
+    if service is None:
+        service = np.full(len(times), DEFAULT_POSITIONING)
+    else:
+        service = np.asarray(service, dtype=float)
+        if len(service) != len(times):
+            raise ValueError("service must match times in length")
+        if np.any(service < 0):
+            raise ValueError("service times must be non-negative")
+
+    prefix = np.cumsum(service)
+    prior = np.concatenate(([0.0], prefix[:-1]))
+    busy_until = prefix + np.maximum.accumulate(times - prior)
+
+    starts = busy_until[:-1]
+    durations = times[1:] - busy_until[:-1]
+    mask = durations > max(min_duration, 0.0)
+    return starts[mask], durations[mask]
+
+
+def idle_intervals_from_trace(
+    trace: Trace,
+    positioning: float = DEFAULT_POSITIONING,
+    transfer_rate: float = DEFAULT_TRANSFER_RATE,
+    min_duration: float = 0.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Idle intervals of a :class:`Trace` under the nominal service model."""
+    service = service_times(trace.sectors, positioning, transfer_rate)
+    return idle_intervals(trace.times, service, min_duration)

@@ -1,0 +1,144 @@
+"""Array-backed trace container.
+
+A :class:`Trace` stores a block I/O trace as parallel numpy arrays —
+the only representation that stays workable at the paper's scale
+(tens of millions of requests per disk-week).  Individual records are
+materialised lazily as :class:`TraceRecord` objects for consumers that
+want them (e.g. the replayer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry (times in seconds from trace start)."""
+
+    time: float
+    lbn: int
+    sectors: int
+    is_write: bool
+
+
+class Trace:
+    """A block I/O trace.
+
+    Parameters
+    ----------
+    times:
+        Arrival times in seconds, non-decreasing.
+    lbns, sectors:
+        Request start addresses and lengths (512-byte sectors).
+    is_write:
+        Boolean array; ``False`` = read.
+    name, description:
+        Identification metadata (mirrors the paper's Table I columns).
+    capacity_sectors:
+        Size of the traced disk, if known.
+    """
+
+    def __init__(
+        self,
+        times: np.ndarray,
+        lbns: np.ndarray,
+        sectors: np.ndarray,
+        is_write: np.ndarray,
+        name: str = "",
+        description: str = "",
+        capacity_sectors: Optional[int] = None,
+    ) -> None:
+        times = np.asarray(times, dtype=float)
+        lbns = np.asarray(lbns, dtype=np.int64)
+        sectors = np.asarray(sectors, dtype=np.int64)
+        is_write = np.asarray(is_write, dtype=bool)
+        lengths = {len(times), len(lbns), len(sectors), len(is_write)}
+        if len(lengths) != 1:
+            raise ValueError(f"mismatched column lengths: {sorted(lengths)}")
+        if len(times) and np.any(np.diff(times) < 0):
+            raise ValueError("times must be non-decreasing")
+        if np.any(sectors <= 0):
+            raise ValueError("sector counts must be positive")
+        if np.any(lbns < 0):
+            raise ValueError("LBNs must be non-negative")
+        self.times = times
+        self.lbns = lbns
+        self.sectors = sectors
+        self.is_write = is_write
+        self.name = name
+        self.description = description
+        self.capacity_sectors = capacity_sectors
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def duration(self) -> float:
+        """Span from first to last arrival (0 for empty traces)."""
+        if len(self.times) == 0:
+            return 0.0
+        return float(self.times[-1] - self.times[0])
+
+    @property
+    def interarrivals(self) -> np.ndarray:
+        """Gaps between consecutive arrivals (length ``len - 1``)."""
+        return np.diff(self.times)
+
+    def records(self) -> Iterator[TraceRecord]:
+        """Iterate records (lazy; suitable for the replayer)."""
+        for i in range(len(self.times)):
+            yield TraceRecord(
+                time=float(self.times[i]),
+                lbn=int(self.lbns[i]),
+                sectors=int(self.sectors[i]),
+                is_write=bool(self.is_write[i]),
+            )
+
+    def window(self, start: float, end: float) -> "Trace":
+        """Sub-trace with arrivals in ``[start, end)`` (times re-based)."""
+        if end < start:
+            raise ValueError(f"empty window: [{start}, {end})")
+        mask = (self.times >= start) & (self.times < end)
+        return Trace(
+            self.times[mask] - start,
+            self.lbns[mask],
+            self.sectors[mask],
+            self.is_write[mask],
+            name=self.name,
+            description=self.description,
+            capacity_sectors=self.capacity_sectors,
+        )
+
+    def requests_per_bin(self, bin_seconds: float = 3600.0) -> np.ndarray:
+        """Arrival counts per time bin (Fig. 8's requests-per-hour)."""
+        if bin_seconds <= 0:
+            raise ValueError(f"bin_seconds must be positive: {bin_seconds}")
+        if len(self.times) == 0:
+            return np.zeros(0, dtype=int)
+        span = self.times[-1] - self.times[0]
+        nbins = max(1, int(np.ceil(span / bin_seconds)) or 1)
+        edges = self.times[0] + np.arange(nbins + 1) * bin_seconds
+        counts, _ = np.histogram(self.times, bins=edges)
+        return counts
+
+    @classmethod
+    def from_records(cls, records, **metadata) -> "Trace":
+        """Build from an iterable of :class:`TraceRecord`-like objects."""
+        records = list(records)
+        return cls(
+            np.array([r.time for r in records], dtype=float),
+            np.array([r.lbn for r in records], dtype=np.int64),
+            np.array([r.sectors for r in records], dtype=np.int64),
+            np.array([r.is_write for r in records], dtype=bool),
+            **metadata,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Trace {self.name!r}: {len(self)} requests over "
+            f"{self.duration / 3600:.1f} h>"
+        )

@@ -1,0 +1,13 @@
+"""Foreground workload generators.
+
+Closed-loop synthetic workloads (Section IV-B of the paper) and an
+open-loop trace replayer (Section IV-C).  All workloads submit
+:class:`~repro.sched.request.IORequest`\\ s to a
+:class:`~repro.sched.device.BlockDevice` from inside simulation
+processes.
+"""
+
+from repro.workloads.replay import TraceReplayer
+from repro.workloads.synthetic import RandomReader, SequentialReader
+
+__all__ = ["RandomReader", "SequentialReader", "TraceReplayer"]

@@ -1,0 +1,131 @@
+"""Tests for online parameter re-tuning (repro.core.autotune)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.service_model import ScrubServiceModel
+from repro.core import SequentialScrub
+from repro.core.autotune import AutoTuner
+from repro.core.policies import WaitingScrubber
+from repro.disk import DiskCommand, Drive, hitachi_ultrastar_15k450
+from repro.sched import BlockDevice, IORequest, NoopScheduler
+from repro.sim import RandomStreams, Simulation
+
+#: Cheap two-point service model: avoids drive measurement in unit tests.
+SERVICE = ScrubServiceModel([65536, 4 * 1024 * 1024], [0.005, 0.045])
+
+
+def make_stack():
+    sim = Simulation()
+    device = BlockDevice(
+        sim,
+        Drive(hitachi_ultrastar_15k450(), cache_enabled=False),
+        NoopScheduler(),
+    )
+    scrubber = WaitingScrubber(
+        sim, device, SequentialScrub(), threshold=0.5, request_bytes=65536
+    )
+    return sim, device, scrubber
+
+
+def foreground(sim, device, rng, think_mean, count):
+    for _ in range(count):
+        done = device.submit(IORequest(DiskCommand.read(0, 8)))
+        yield done
+        yield sim.timeout(rng.exponential(think_mean))
+
+
+class TestAutoTuner:
+    def test_no_retune_without_data(self):
+        sim, device, scrubber = make_stack()
+        scrubber.start()
+        tuner = AutoTuner(
+            sim, scrubber, SERVICE, slowdown_goal=0.001,
+            retune_interval=1.0, min_samples=50,
+        )
+        tuner.start()
+        sim.run(until=3.0)
+        assert tuner.retunes == 0
+        assert scrubber.threshold == 0.5  # untouched
+
+    def test_retunes_with_traffic(self):
+        sim, device, scrubber = make_stack()
+        scrubber.start()
+        rng = RandomStreams(seed=5).get("fg")
+        sim.process(foreground(sim, device, rng, think_mean=0.05, count=2000))
+        tuner = AutoTuner(
+            sim, scrubber, SERVICE, slowdown_goal=0.001,
+            retune_interval=5.0, min_samples=50,
+        )
+        tuner.start()
+        sim.run(until=30.0)
+        assert tuner.retunes >= 1
+        applied = tuner.history[-1]
+        assert scrubber.threshold == applied.threshold
+        assert scrubber.request_sectors == applied.request_bytes // 512
+        assert applied.achieved_slowdown <= 0.001 * 1.01
+
+    def test_parameters_track_workload_shift(self):
+        """Busy phase -> light phase: the tuned threshold should drop
+        (long idle gaps make waiting cheap) or the size should grow."""
+        sim, device, scrubber = make_stack()
+        scrubber.start()
+        rng = RandomStreams(seed=9).get("fg")
+
+        def two_phase(sim, device):
+            # Busy: short think times.
+            yield from foreground(sim, device, rng, think_mean=0.01, count=1500)
+            # Light: long think times.
+            yield from foreground(sim, device, rng, think_mean=0.5, count=200)
+
+        sim.process(two_phase(sim, device))
+        tuner = AutoTuner(
+            sim, scrubber, SERVICE, slowdown_goal=0.0005,
+            retune_interval=10.0, window=20.0, min_samples=30,
+        )
+        tuner.start()
+        sim.run(until=120.0)
+        assert tuner.retunes >= 2
+        first, last = tuner.history[0], tuner.history[-1]
+        assert (first.threshold, first.request_bytes) != (
+            last.threshold, last.request_bytes
+        )
+
+    def test_manual_retune(self):
+        sim, device, scrubber = make_stack()
+        scrubber.start()
+        rng = RandomStreams(seed=2).get("fg")
+        sim.process(foreground(sim, device, rng, think_mean=0.05, count=500))
+        tuner = AutoTuner(
+            sim, scrubber, SERVICE, slowdown_goal=0.002,
+            retune_interval=1e9, min_samples=20,
+        )
+        tuner.start()
+        sim.run(until=15.0)
+        result = tuner.retune()
+        assert result is not None
+        assert tuner.retunes == 1
+
+    def test_stop_detaches(self):
+        sim, device, scrubber = make_stack()
+        scrubber.start()
+        tuner = AutoTuner(sim, scrubber, SERVICE, slowdown_goal=0.001)
+        tuner.start()
+        tuner.stop()
+        assert tuner._observe not in device.observers
+
+    def test_validation(self):
+        sim, device, scrubber = make_stack()
+        with pytest.raises(ValueError):
+            AutoTuner(sim, scrubber, SERVICE, slowdown_goal=0)
+        with pytest.raises(ValueError):
+            AutoTuner(sim, scrubber, SERVICE, 0.001, retune_interval=0)
+        with pytest.raises(ValueError):
+            AutoTuner(sim, scrubber, SERVICE, 0.001, min_samples=1)
+
+    def test_double_start_rejected(self):
+        sim, device, scrubber = make_stack()
+        tuner = AutoTuner(sim, scrubber, SERVICE, slowdown_goal=0.001)
+        tuner.start()
+        with pytest.raises(RuntimeError):
+            tuner.start()

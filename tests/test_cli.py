@@ -1,0 +1,103 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerate:
+    def test_list_catalog(self, capsys):
+        assert main(["generate", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "MSRsrc11" in out
+        assert "HP Cello" in out
+
+    def test_generate_writes_csv(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.csv"
+        code = main([
+            "generate", "--name", "MSRprn1", "--duration", "300",
+            "--output", str(out_path),
+        ])
+        assert code == 0
+        assert out_path.exists()
+        from repro.traces import read_csv_trace
+
+        trace = read_csv_trace(out_path)
+        assert len(trace) > 10
+
+    def test_generate_requires_name_and_output(self):
+        with pytest.raises(SystemExit):
+            main(["generate"])
+
+
+class TestAnalyze:
+    def test_analyze_synthetic(self, capsys):
+        code = main([
+            "analyze", "--synthetic", "MSRprn1", "--duration", "1800",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "idle:" in out
+        assert "heavy-tailed" in out or "memoryless" in out
+
+    def test_analyze_csv_roundtrip(self, tmp_path, capsys):
+        out_path = tmp_path / "t.csv"
+        main([
+            "generate", "--name", "MSRprn1", "--duration", "600",
+            "--output", str(out_path),
+        ])
+        capsys.readouterr()
+        assert main(["analyze", "--trace", str(out_path)]) == 0
+        assert "requests:" in capsys.readouterr().out
+
+    def test_source_required(self):
+        with pytest.raises(SystemExit):
+            main(["analyze"])
+
+    def test_sources_mutually_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "analyze", "--trace", "x.csv", "--synthetic", "MSRprn1",
+            ])
+
+
+class TestOptimize:
+    def test_optimize_synthetic(self, capsys):
+        code = main([
+            "optimize", "--synthetic", "MSRusr2", "--duration", "1800",
+            "--goals-ms", "2.0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2.00ms" in out
+        assert "CFQ-like baseline" in out
+
+    def test_unknown_drive_rejected(self):
+        with pytest.raises(SystemExit, match="unknown drive"):
+            main([
+                "optimize", "--synthetic", "MSRusr2", "--drive", "flopotron",
+            ])
+
+
+class TestThroughput:
+    def test_sequential(self, capsys):
+        assert main(["throughput", "--horizon", "3"]) == 0
+        assert "MB/s" in capsys.readouterr().out
+
+    def test_staggered_with_regions(self, capsys):
+        assert main([
+            "throughput", "--algorithm", "staggered", "--regions", "64",
+            "--horizon", "3",
+        ]) == 0
+        assert "staggered" in capsys.readouterr().out
+
+
+class TestMlet:
+    def test_mlet_table(self, capsys):
+        code = main([
+            "mlet", "--sectors", "100000", "--regions", "16", "64",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sequential" in out
+        assert "staggered-64" in out

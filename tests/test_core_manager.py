@@ -1,0 +1,135 @@
+"""Tests for the system-wide scrub manager (repro.core.manager)."""
+
+import pytest
+
+from repro.core import SequentialScrub, StaggeredScrub
+from repro.core.manager import ScrubManager
+from repro.disk import Drive, hitachi_ultrastar_15k450
+from repro.sched import BlockDevice, NoopScheduler
+from repro.sim import Simulation
+
+
+def tiny_device(sim):
+    spec = hitachi_ultrastar_15k450().with_overrides(
+        cylinders=30, outer_spt=64, inner_spt=64, num_zones=1, heads=2,
+        average_seek=1e-3, full_stroke_seek=2e-3,
+    )
+    return BlockDevice(sim, Drive(spec, cache_enabled=False), NoopScheduler())
+
+
+@pytest.fixture
+def setup():
+    sim = Simulation()
+    manager = ScrubManager(sim)
+    return sim, manager
+
+
+class TestHotplug:
+    def test_register_and_list(self, setup):
+        sim, manager = setup
+        manager.register("sda", tiny_device(sim))
+        manager.register("sdb", tiny_device(sim))
+        assert manager.devices == ["sda", "sdb"]
+
+    def test_duplicate_registration_rejected(self, setup):
+        sim, manager = setup
+        manager.register("sda", tiny_device(sim))
+        with pytest.raises(ValueError):
+            manager.register("sda", tiny_device(sim))
+
+    def test_unregister_stops_scrubber(self, setup):
+        sim, manager = setup
+        manager.register("sda", tiny_device(sim))
+        scrubber = manager.activate("sda")
+        sim.run(until=0.05)
+        manager.unregister("sda")
+        issued = scrubber.requests_issued
+        sim.run(until=0.2)
+        assert scrubber.requests_issued == issued
+        assert manager.devices == []
+
+    def test_unknown_device_rejected(self, setup):
+        _, manager = setup
+        with pytest.raises(KeyError):
+            manager.activate("nope")
+        with pytest.raises(KeyError):
+            manager.unregister("nope")
+
+
+class TestActivation:
+    def test_dormant_until_activated(self, setup):
+        sim, manager = setup
+        device = tiny_device(sim)
+        manager.register("sda", device)
+        sim.run(until=0.2)
+        assert device.log.count() == 0
+        assert not manager.is_active("sda")
+
+    def test_activate_scrubs(self, setup):
+        sim, manager = setup
+        manager.register("sda", tiny_device(sim))
+        scrubber = manager.activate("sda")
+        sim.run(until=0.5)
+        assert scrubber.requests_issued > 0
+        assert manager.is_active("sda")
+        assert manager.total_bytes_scrubbed() == scrubber.bytes_scrubbed
+
+    def test_double_activation_rejected(self, setup):
+        sim, manager = setup
+        manager.register("sda", tiny_device(sim))
+        manager.activate("sda")
+        with pytest.raises(RuntimeError):
+            manager.activate("sda")
+
+    def test_deactivate_then_reactivate(self, setup):
+        sim, manager = setup
+        manager.register("sda", tiny_device(sim))
+        manager.activate("sda")
+        sim.run(until=0.1)
+        manager.deactivate("sda")
+        sim.run(until=0.15)
+        assert not manager.is_active("sda")
+        manager.activate("sda", algorithm=StaggeredScrub(4))
+        sim.run(until=0.3)
+        assert manager.is_active("sda")
+
+    def test_independent_devices(self, setup):
+        sim, manager = setup
+        manager.register("sda", tiny_device(sim))
+        manager.register("sdb", tiny_device(sim))
+        fast = manager.activate("sda")
+        slow = manager.activate("sdb", delay=0.05)
+        sim.run(until=1.0)
+        assert fast.bytes_scrubbed > slow.bytes_scrubbed
+        assert (
+            manager.total_bytes_scrubbed()
+            == fast.bytes_scrubbed + slow.bytes_scrubbed
+        )
+
+    def test_sources_are_per_device(self, setup):
+        sim, manager = setup
+        device = tiny_device(sim)
+        manager.register("sda", device)
+        manager.activate("sda")
+        sim.run(until=0.1)
+        assert device.log.count("scrubber:sda") > 0
+
+
+class TestProgress:
+    def test_progress_goes_to_one_and_wraps(self, setup):
+        sim, manager = setup
+        manager.register("sda", tiny_device(sim))
+        scrubber = manager.activate("sda", request_bytes=128 * 1024)
+        assert manager.progress("sda") == 0.0
+        sim.run(until=0.3)
+        first = manager.progress("sda")
+        assert 0.0 <= first <= 1.0
+        # Run long enough for at least one full pass.
+        sim.run(until=6.0)
+        assert scrubber.passes_completed >= 1
+        assert 0.0 <= manager.progress("sda") <= 1.0
+
+    def test_progress_without_scrubber_is_zero(self, setup):
+        sim, manager = setup
+        manager.register("sda", tiny_device(sim))
+        assert manager.progress("sda") == 0.0

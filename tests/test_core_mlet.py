@@ -1,0 +1,128 @@
+"""Tests for the LSE/MLET model (repro.core.mlet)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SequentialScrub, StaggeredScrub
+from repro.core.mlet import (
+    LSEBurst,
+    generate_bursts,
+    mean_latent_error_time,
+    sector_visit_times,
+)
+
+TOTAL = 100_000
+STEP = 128
+RATE = 10e6  # bytes/s
+
+
+def rng():
+    return np.random.default_rng(5)
+
+
+class TestVisitTimes:
+    def test_sequential_visits_in_order(self):
+        visits, duration = sector_visit_times(
+            SequentialScrub(), TOTAL, STEP, RATE
+        )
+        assert len(visits) == TOTAL
+        assert duration == pytest.approx(TOTAL * 512 / RATE)
+        assert np.all(np.diff(visits) >= 0)
+
+    def test_staggered_covers_everything(self):
+        visits, duration = sector_visit_times(
+            StaggeredScrub(regions=16), TOTAL, STEP, RATE
+        )
+        assert np.all(visits >= 0)
+        assert duration == pytest.approx(TOTAL * 512 / RATE)
+
+    def test_staggered_spreads_regions_early(self):
+        visits, duration = sector_visit_times(
+            StaggeredScrub(regions=10), TOTAL, STEP, RATE
+        )
+        region = TOTAL // 10
+        first_sector_each_region = visits[::region][:10]
+        # Every region's first segment is probed in the first round.
+        assert np.all(first_sector_each_region < duration / 9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sector_visit_times(SequentialScrub(), TOTAL, STEP, 0)
+
+
+class TestBurstGeneration:
+    def test_bursts_within_bounds(self):
+        bursts = generate_bursts(rng(), TOTAL, 500, horizon=1000.0)
+        assert len(bursts) == 500
+        for burst in bursts:
+            assert 0 <= burst.start_sector < TOTAL
+            assert burst.start_sector + burst.length <= TOTAL
+            assert 0 <= burst.time < 1000.0
+            assert burst.length >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_bursts(rng(), TOTAL, 0, 10.0)
+        with pytest.raises(ValueError):
+            generate_bursts(rng(), TOTAL, 5, 10.0, mean_length=0.5)
+
+
+class TestMLET:
+    def test_single_error_sequential_is_half_pass(self):
+        visits, duration = sector_visit_times(
+            SequentialScrub(), TOTAL, STEP, RATE
+        )
+        bursts = generate_bursts(
+            rng(), TOTAL, 4000, horizon=duration * 10, mean_length=1.0,
+            max_length=1,
+        )
+        mlet = mean_latent_error_time(visits, duration, bursts)
+        assert mlet == pytest.approx(duration / 2, rel=0.06)
+
+    def test_staggered_beats_sequential_on_bursts(self):
+        """The Oprea-Juels result the paper builds on: for spatially
+        bursty LSEs, staggered scrubbing detects sooner."""
+        bursts = generate_bursts(
+            rng(), TOTAL, 3000, horizon=1e6, mean_length=3000.0,
+            max_length=20_000,
+        )
+        seq_visits, duration = sector_visit_times(
+            SequentialScrub(), TOTAL, STEP, RATE
+        )
+        stag_visits, stag_duration = sector_visit_times(
+            StaggeredScrub(regions=16), TOTAL, STEP, RATE
+        )
+        assert stag_duration == pytest.approx(duration)
+        seq_mlet = mean_latent_error_time(seq_visits, duration, bursts)
+        stag_mlet = mean_latent_error_time(stag_visits, stag_duration, bursts)
+        assert stag_mlet < 0.7 * seq_mlet
+
+    def test_more_regions_not_worse_for_large_bursts(self):
+        bursts = generate_bursts(
+            rng(), TOTAL, 2000, horizon=1e6, mean_length=5000.0,
+            max_length=30_000,
+        )
+        mlets = []
+        for regions in (1, 4, 16, 64):
+            visits, duration = sector_visit_times(
+                StaggeredScrub(regions=regions), TOTAL, STEP, RATE
+            )
+            mlets.append(mean_latent_error_time(visits, duration, bursts))
+        assert mlets[-1] < mlets[0]
+
+    def test_detection_delay_never_negative_or_above_pass(self):
+        visits, duration = sector_visit_times(
+            StaggeredScrub(regions=8), TOTAL, STEP, RATE
+        )
+        burst = LSEBurst(time=duration * 0.37, start_sector=123, length=10)
+        mlet = mean_latent_error_time(visits, duration, [burst])
+        assert 0 <= mlet <= duration
+
+    def test_validation(self):
+        visits, duration = sector_visit_times(
+            SequentialScrub(), TOTAL, STEP, RATE
+        )
+        with pytest.raises(ValueError):
+            mean_latent_error_time(visits, 0.0, [LSEBurst(0, 0, 1)])
+        with pytest.raises(ValueError):
+            mean_latent_error_time(visits, duration, [])

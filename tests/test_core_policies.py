@@ -1,0 +1,194 @@
+"""Tests for the idle-scheduling policies (repro.core.policies)."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import (
+    ARPolicy,
+    ARWaitingPolicy,
+    LosslessWaitingPolicy,
+    OraclePolicy,
+    WaitingPolicy,
+)
+from repro.stats.ar import fit_ar
+
+
+def heavy_tailed_durations(n=20_000, seed=3):
+    rng = np.random.default_rng(seed)
+    return np.exp(2.2 * rng.standard_normal(n)) * 0.05
+
+
+class TestWaitingPolicy:
+    def test_offsets_are_threshold(self):
+        durations = np.array([0.5, 2.0, 0.05])
+        policy = WaitingPolicy(0.1)
+        assert np.allclose(policy.fire_offsets(durations), 0.1)
+
+    def test_fires_only_in_long_intervals(self):
+        durations = np.array([0.5, 2.0, 0.05])
+        policy = WaitingPolicy(0.1)
+        assert policy.fired_mask(durations).tolist() == [True, True, False]
+
+    def test_utilised_time(self):
+        durations = np.array([0.5, 2.0, 0.05])
+        policy = WaitingPolicy(0.1)
+        assert np.allclose(policy.utilised_time(durations), [0.4, 1.9, 0.0])
+
+    def test_zero_threshold_uses_everything(self):
+        durations = np.array([1.0, 2.0])
+        policy = WaitingPolicy(0.0)
+        assert policy.utilised_time(durations).sum() == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WaitingPolicy(-1)
+        with pytest.raises(ValueError):
+            WaitingPolicy(0.1).fire_offsets(np.array([[1.0]]))
+
+
+class TestLosslessWaiting:
+    def test_same_selection_full_utilisation(self):
+        durations = heavy_tailed_durations()
+        threshold = 0.5
+        waiting = WaitingPolicy(threshold)
+        lossless = LosslessWaitingPolicy(threshold)
+        assert np.array_equal(
+            waiting.fired_mask(durations), lossless.fired_mask(durations)
+        )
+        assert (
+            lossless.utilised_time(durations).sum()
+            > waiting.utilised_time(durations).sum()
+        )
+
+    def test_lossless_equals_oracle_at_same_budget(self):
+        """The paper's Fig. 14 observation, exact in this model."""
+        durations = heavy_tailed_durations()
+        threshold = 1.0
+        lossless = LosslessWaitingPolicy(threshold)
+        fired = lossless.fired_mask(durations)
+        oracle = OraclePolicy(fired.mean())
+        assert oracle.utilised_time(durations).sum() == pytest.approx(
+            lossless.utilised_time(durations).sum(), rel=0.01
+        )
+
+
+class TestOracle:
+    def test_uses_exactly_the_longest(self):
+        durations = np.array([1.0, 5.0, 3.0, 0.5])
+        policy = OraclePolicy(0.5)
+        assert policy.fired_mask(durations).tolist() == [False, True, True, False]
+        assert policy.utilised_time(durations).sum() == pytest.approx(8.0)
+
+    def test_zero_budget(self):
+        durations = np.array([1.0, 2.0])
+        assert OraclePolicy(0.0).utilised_time(durations).sum() == 0.0
+
+    def test_full_budget(self):
+        durations = np.array([1.0, 2.0])
+        assert OraclePolicy(1.0).utilised_time(durations).sum() == 3.0
+
+    def test_oracle_dominates_waiting(self):
+        """At equal collision budget the Oracle's utilisation is an
+        upper bound on Waiting's."""
+        durations = heavy_tailed_durations()
+        waiting = WaitingPolicy(0.5)
+        budget = waiting.fired_mask(durations).mean()
+        oracle = OraclePolicy(budget)
+        assert (
+            oracle.utilised_time(durations).sum()
+            >= waiting.utilised_time(durations).sum()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OraclePolicy(1.5)
+
+
+class TestARPolicy:
+    def _correlated_durations(self, n=30_000, phi=0.8, seed=9):
+        rng = np.random.default_rng(seed)
+        noise = rng.standard_normal(n) * np.sqrt(1 - phi * phi)
+        logs = np.empty(n)
+        logs[0] = rng.standard_normal()
+        for i in range(1, n):
+            logs[i] = phi * logs[i - 1] + noise[i]
+        return np.exp(logs)
+
+    def test_fires_from_interval_start(self):
+        durations = self._correlated_durations()
+        policy = ARPolicy(threshold=0.0)
+        offsets = policy.fire_offsets(durations)
+        assert np.all(offsets[np.isfinite(offsets)] == 0.0)
+
+    def test_threshold_reduces_fires(self):
+        durations = self._correlated_durations()
+        predictions = ARPolicy(0).predictions(durations)
+        low, high = np.percentile(predictions, [20, 80])
+        fires_low = ARPolicy(low).fired_mask(durations).sum()
+        fires_high = ARPolicy(high).fired_mask(durations).sum()
+        assert fires_high < fires_low
+
+    def test_predictions_better_than_chance_on_ar_data(self):
+        durations = self._correlated_durations()
+        policy = ARPolicy(0.0)
+        predictions = policy.predictions(durations)
+        rank_corr = np.corrcoef(
+            np.argsort(np.argsort(predictions)),
+            np.argsort(np.argsort(durations)),
+        )[0, 1]
+        assert rank_corr > 0.3
+
+    def test_prefitted_model_used(self):
+        durations = self._correlated_durations()
+        model = fit_ar(durations, 2)
+        policy = ARPolicy(0.5, model=model)
+        assert np.allclose(
+            policy.predictions(durations), model.predict_series(durations)
+        )
+
+    def test_waiting_dominates_ar_on_heavy_tails(self):
+        """The paper's central Fig. 14 ordering."""
+        durations = heavy_tailed_durations(n=50_000)
+        ar = ARPolicy(np.median(ARPolicy(0).predictions(durations)))
+        ar_fired = ar.fired_mask(durations)
+        ar_util = ar.utilised_time(durations).sum() / durations.sum()
+        # A Waiting policy matched to the same collision count:
+        thresholds = np.percentile(durations, 100 * (1 - ar_fired.mean()))
+        waiting = WaitingPolicy(float(thresholds))
+        w_util = waiting.utilised_time(durations).sum() / durations.sum()
+        w_fired = waiting.fired_mask(durations).mean()
+        assert w_fired <= ar_fired.mean() * 1.05
+        assert w_util > ar_util
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ARPolicy(-1)
+        with pytest.raises(ValueError):
+            ARPolicy(0, max_order=0)
+
+
+class TestARWaiting:
+    def test_subset_of_waiting(self):
+        durations = heavy_tailed_durations()
+        waiting = WaitingPolicy(0.2)
+        combined = ARWaitingPolicy(0.2, ar_threshold=1e9)
+        assert combined.fired_mask(durations).sum() == 0
+        # With any AR threshold the combined policy fires in a subset of
+        # Waiting's intervals (predictions may be negative, so even a
+        # zero threshold can veto).
+        loose = ARWaitingPolicy(0.2, ar_threshold=0.0)
+        loose_fired = loose.fired_mask(durations)
+        waiting_fired = waiting.fired_mask(durations)
+        assert np.all(waiting_fired[loose_fired])
+        assert 0 < loose_fired.sum() <= waiting_fired.sum()
+
+    def test_fires_at_wait_threshold(self):
+        durations = heavy_tailed_durations()
+        combined = ARWaitingPolicy(0.3, ar_threshold=0.0)
+        offsets = combined.fire_offsets(durations)
+        fired = offsets < durations
+        assert np.all(offsets[fired] == 0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ARWaitingPolicy(-0.1, 0.1)

@@ -1,0 +1,256 @@
+"""Tests for the scrubbing framework and algorithms (repro.core)."""
+
+import pytest
+
+from repro.core import Scrubber, SequentialScrub, StaggeredScrub
+from repro.disk import Drive, hitachi_ultrastar_15k450
+from repro.disk.models import DriveSpec
+from repro.sched import BlockDevice, CFQScheduler, NoopScheduler, PriorityClass
+from repro.sim import RandomStreams, Simulation
+from repro.workloads import SequentialReader
+
+
+def tiny_spec(**overrides) -> DriveSpec:
+    """A minuscule drive so full passes finish quickly in tests."""
+    spec = hitachi_ultrastar_15k450().with_overrides(
+        cylinders=30, outer_spt=64, inner_spt=64, num_zones=1, heads=2,
+        average_seek=1e-3, full_stroke_seek=2e-3,
+    )
+    return spec.with_overrides(**overrides)
+
+
+def make_stack(spec=None, scheduler=None):
+    sim = Simulation()
+    drive = Drive(spec or tiny_spec(), cache_enabled=False)
+    if scheduler is None:  # note: an *empty* scheduler is falsy (__len__)
+        scheduler = NoopScheduler()
+    device = BlockDevice(sim, drive, scheduler)
+    return sim, device
+
+
+class TestSequentialScrubOrder:
+    def test_covers_disk_in_order(self):
+        algorithm = SequentialScrub()
+        algorithm.reset(100, 32)
+        extents = []
+        while True:
+            extent = algorithm.next_extent()
+            if extent is None:
+                break
+            extents.append(extent)
+        assert extents == [(0, 32), (32, 32), (64, 32), (96, 4)]
+
+    def test_reset_restarts(self):
+        algorithm = SequentialScrub()
+        algorithm.reset(64, 32)
+        algorithm.next_extent()
+        algorithm.reset(64, 32)
+        assert algorithm.next_extent() == (0, 32)
+
+    def test_invalid_reset(self):
+        with pytest.raises(ValueError):
+            SequentialScrub().reset(0, 32)
+
+
+class TestStaggeredScrubOrder:
+    def test_one_region_equals_sequential(self):
+        staggered = StaggeredScrub(regions=1)
+        sequential = SequentialScrub()
+        staggered.reset(1000, 64)
+        sequential.reset(1000, 64)
+        while True:
+            a, b = staggered.next_extent(), sequential.next_extent()
+            assert a == b
+            if a is None:
+                break
+
+    def test_round_robin_across_regions(self):
+        algorithm = StaggeredScrub(regions=4)
+        algorithm.reset(400, 10)
+        first_round = [algorithm.next_extent() for _ in range(4)]
+        assert first_round == [(0, 10), (100, 10), (200, 10), (300, 10)]
+        second_round = [algorithm.next_extent() for _ in range(4)]
+        assert second_round == [(10, 10), (110, 10), (210, 10), (310, 10)]
+
+    @pytest.mark.parametrize("total,step,regions", [
+        (1000, 7, 3),
+        (1000, 64, 128),
+        (999, 10, 10),
+        (17, 5, 4),
+        (100, 100, 7),
+    ])
+    def test_exact_coverage(self, total, step, regions):
+        algorithm = StaggeredScrub(regions=regions)
+        algorithm.reset(total, step)
+        seen = set()
+        while True:
+            extent = algorithm.next_extent()
+            if extent is None:
+                break
+            lbn, sectors = extent
+            for sector in range(lbn, lbn + sectors):
+                assert sector not in seen
+                seen.add(sector)
+        assert seen == set(range(total))
+
+    def test_invalid_regions(self):
+        with pytest.raises(ValueError):
+            StaggeredScrub(regions=0)
+
+
+class TestScrubberFramework:
+    def test_full_pass_counts(self):
+        sim, device = make_stack()
+        scrubber = Scrubber(
+            sim, device, SequentialScrub(), request_bytes=64 * 1024,
+            max_passes=1,
+        )
+        process = scrubber.start()
+        sim.run(until=process)
+        assert scrubber.passes_completed == 1
+        assert scrubber.bytes_scrubbed == device.drive.capacity_bytes
+        total = device.drive.total_sectors
+        expected = -(-total // 128)
+        assert scrubber.requests_issued == expected
+
+    def test_multiple_passes(self):
+        sim, device = make_stack()
+        scrubber = Scrubber(
+            sim, device, StaggeredScrub(regions=4), max_passes=3,
+        )
+        process = scrubber.start()
+        sim.run(until=process)
+        assert scrubber.passes_completed == 3
+        assert scrubber.bytes_scrubbed == 3 * device.drive.capacity_bytes
+
+    def test_stop_interrupts(self):
+        sim, device = make_stack()
+        scrubber = Scrubber(sim, device, SequentialScrub())
+        scrubber.start()
+        sim.run(until=0.05)
+        scrubber.stop()
+        sim.run(until=0.1)
+        issued = scrubber.requests_issued
+        sim.run(until=0.2)
+        assert scrubber.requests_issued == issued
+
+    def test_gap_delay_slows_scrubber(self):
+        rates = {}
+        for delay in (0.0, 0.016):
+            sim, device = make_stack()
+            scrubber = Scrubber(
+                sim, device, SequentialScrub(), delay=delay, delay_mode="gap",
+            )
+            scrubber.start()
+            sim.run(until=2.0)
+            rates[delay] = scrubber.bytes_scrubbed
+        assert rates[0.016] < rates[0.0] / 2
+
+    def test_interval_mode_reaches_size_over_delay(self):
+        """The paper's 3.9 MB/s = 64 KB / 16 ms user-level result."""
+        sim, device = make_stack(spec=hitachi_ultrastar_15k450())
+        scrubber = Scrubber(
+            sim, device, SequentialScrub(), request_bytes=64 * 1024,
+            delay=0.016, delay_mode="interval", soft_barrier=True,
+        )
+        scrubber.start()
+        sim.run(until=10.0)
+        mbps = scrubber.throughput(10.0) / 1e6
+        assert mbps == pytest.approx(65536 / 0.016 / 1e6, rel=0.05)
+
+    def test_gap_mode_pays_service_time(self):
+        """Kernel-style delay: size / (delay + service) ~= 3 MB/s."""
+        sim, device = make_stack(spec=hitachi_ultrastar_15k450())
+        scrubber = Scrubber(
+            sim, device, SequentialScrub(), request_bytes=64 * 1024,
+            delay=0.016, delay_mode="gap",
+        )
+        scrubber.start()
+        sim.run(until=10.0)
+        mbps = scrubber.throughput(10.0) / 1e6
+        assert 2.5 < mbps < 3.6
+
+    def test_scrub_requests_tagged_and_classed(self):
+        sim, device = make_stack()
+        scrubber = Scrubber(
+            sim, device, SequentialScrub(), priority=PriorityClass.IDLE,
+            max_passes=1,
+        )
+        process = scrubber.start()
+        sim.run(until=process)
+        scrub_requests = device.log.requests("scrubber")
+        assert scrub_requests
+        assert all(r.priority is PriorityClass.IDLE for r in scrub_requests)
+        from repro.disk.commands import Opcode
+
+        assert all(
+            r.command.opcode is Opcode.VERIFY for r in scrub_requests
+        )
+
+    def test_invalid_parameters(self):
+        sim, device = make_stack()
+        with pytest.raises(ValueError):
+            Scrubber(sim, device, SequentialScrub(), request_bytes=1000)
+        with pytest.raises(ValueError):
+            Scrubber(sim, device, SequentialScrub(), delay=-1)
+        with pytest.raises(ValueError):
+            Scrubber(sim, device, SequentialScrub(), delay_mode="sometimes")
+        with pytest.raises(ValueError):
+            Scrubber(sim, device, SequentialScrub(), max_passes=0)
+
+    def test_double_start_rejected(self):
+        sim, device = make_stack()
+        scrubber = Scrubber(sim, device, SequentialScrub())
+        scrubber.start()
+        with pytest.raises(RuntimeError):
+            scrubber.start()
+
+
+class TestScrubberWithForeground:
+    def test_idle_class_protects_foreground(self):
+        """Foreground throughput with an Idle-class scrubber stays close
+        to the no-scrubber baseline (the Fig. 6 story for CFQ/gated)."""
+        horizon = 20.0
+
+        def run(with_scrubber):
+            sim = Simulation()
+            device = BlockDevice(
+                sim,
+                Drive(hitachi_ultrastar_15k450(), cache_enabled=False),
+                CFQScheduler(idle_gate=0.010),
+            )
+            streams = RandomStreams(seed=3)
+            SequentialReader(sim, device, streams.get("fg")).start()
+            if with_scrubber:
+                Scrubber(
+                    sim, device, SequentialScrub(),
+                    priority=PriorityClass.IDLE,
+                ).start()
+            sim.run(until=horizon)
+            return device.log.bytes_completed("foreground")
+
+        baseline = run(False)
+        with_scrub = run(True)
+        assert with_scrub > 0.7 * baseline
+
+    def test_same_priority_scrubber_hurts_foreground(self):
+        horizon = 20.0
+
+        def run(priority):
+            sim = Simulation()
+            device = BlockDevice(
+                sim,
+                Drive(hitachi_ultrastar_15k450(), cache_enabled=False),
+                CFQScheduler(idle_gate=0.010),
+            )
+            streams = RandomStreams(seed=3)
+            SequentialReader(sim, device, streams.get("fg")).start()
+            Scrubber(
+                sim, device, SequentialScrub(), priority=priority,
+            ).start()
+            sim.run(until=horizon)
+            return device.log.bytes_completed("foreground")
+
+        idle = run(PriorityClass.IDLE)
+        default = run(PriorityClass.BE)
+        assert default < 0.8 * idle

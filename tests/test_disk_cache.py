@@ -1,0 +1,135 @@
+"""Tests for the segmented streaming disk cache (repro.disk.cache)."""
+
+import pytest
+
+from repro.disk import DiskCache
+
+
+def make_cache(**kwargs):
+    defaults = dict(num_segments=4, segment_sectors=1000, read_ahead_sectors=100)
+    defaults.update(kwargs)
+    return DiskCache(**defaults)
+
+
+def test_empty_cache_misses():
+    cache = make_cache()
+    assert cache.lookup(0, 10, now=0.0) is None
+    assert cache.misses == 1
+    assert cache.hits == 0
+
+
+def test_inserted_range_hits():
+    cache = make_cache()
+    cache.insert(100, 50, now=1.0, fill_rate=1000.0)
+    assert cache.lookup(100, 50, now=2.0) == pytest.approx(1.0)
+    assert cache.hits == 1
+
+
+def test_partial_overlap_misses():
+    cache = make_cache(read_ahead_sectors=0)
+    cache.insert(100, 50, now=1.0, fill_rate=1000.0)
+    assert cache.lookup(90, 20, now=2.0) is None
+    assert cache.lookup(140, 20, now=2.0) is None
+
+
+def test_subrange_hits():
+    cache = make_cache()
+    cache.insert(100, 50, now=1.0, fill_rate=1000.0)
+    assert cache.lookup(110, 10, now=2.0) == pytest.approx(1.0)
+
+
+def test_read_ahead_region_available_later():
+    cache = make_cache(read_ahead_sectors=100)
+    cache.insert(0, 50, now=10.0, fill_rate=10.0)  # 10 sectors/s fill
+    # Sectors [50, 150) stream in at 10 sectors/s after t=10.
+    ready = cache.lookup(50, 20, now=10.0)
+    assert ready == pytest.approx(10.0 + 20 / 10.0)
+
+
+def test_zero_fill_rate_makes_read_ahead_unavailable():
+    cache = make_cache()
+    cache.insert(0, 10, now=0.0, fill_rate=0.0)
+    assert cache.lookup(5, 10, now=1.0) == float("inf")
+
+
+def test_lru_eviction():
+    cache = make_cache(num_segments=2, read_ahead_sectors=0)
+    cache.insert(0, 10, now=0.0, fill_rate=1.0)
+    cache.insert(1000, 10, now=1.0, fill_rate=1.0)
+    cache.insert(2000, 10, now=2.0, fill_rate=1.0)  # evicts [0, 10)
+    assert cache.lookup(0, 10, now=3.0) is None
+    assert cache.lookup(1000, 10, now=3.0) is not None
+    assert cache.lookup(2000, 10, now=3.0) is not None
+
+
+def test_hit_refreshes_lru_order():
+    cache = make_cache(num_segments=2, read_ahead_sectors=0)
+    cache.insert(0, 10, now=0.0, fill_rate=1.0)
+    cache.insert(1000, 10, now=1.0, fill_rate=1.0)
+    cache.lookup(0, 10, now=2.0)  # refresh the older segment
+    cache.insert(2000, 10, now=3.0, fill_rate=1.0)  # should evict [1000, 1010)
+    assert cache.lookup(0, 10, now=4.0) is not None
+    assert cache.lookup(1000, 10, now=4.0) is None
+
+
+def test_sequential_insert_extends_segment():
+    cache = make_cache(read_ahead_sectors=50)
+    cache.insert(0, 100, now=0.0, fill_rate=100.0)
+    cache.insert(100, 100, now=1.0, fill_rate=100.0)
+    assert len(cache) == 1
+    segment = cache.segments[0]
+    assert segment.start == 0
+    assert segment.end == 250  # 200 data + 50 read-ahead
+
+
+def test_streaming_lookup_slides_window():
+    """Continuous read-ahead: hits near the fill front extend the segment."""
+    cache = make_cache(read_ahead_sectors=100, segment_sectors=10_000)
+    cache.insert(0, 100, now=0.0, fill_rate=1000.0)
+    end_before = cache.segments[0].end
+    assert cache.lookup(150, 40, now=1.0) is not None
+    assert cache.segments[0].end > end_before
+
+
+def test_segment_capacity_trim():
+    cache = make_cache(segment_sectors=100, read_ahead_sectors=0)
+    cache.insert(0, 80, now=0.0, fill_rate=1.0)
+    cache.insert(80, 80, now=1.0, fill_rate=1.0)
+    segment = cache.segments[0]
+    assert segment.end - segment.start == 100
+    assert segment.end == 160
+    # Head of the stream was discarded.
+    assert cache.lookup(0, 10, now=2.0) is None
+
+
+def test_invalidate_drops_overlapping():
+    cache = make_cache(read_ahead_sectors=0)
+    cache.insert(0, 100, now=0.0, fill_rate=1.0)
+    cache.insert(500, 100, now=0.0, fill_rate=1.0)
+    cache.invalidate(50, 10)
+    assert cache.lookup(0, 10, now=1.0) is None
+    assert cache.lookup(500, 100, now=1.0) is not None
+
+
+def test_invalidate_ignores_adjacent():
+    cache = make_cache(read_ahead_sectors=0)
+    cache.insert(0, 100, now=0.0, fill_rate=1.0)
+    cache.invalidate(100, 50)  # touches only the boundary
+    assert cache.lookup(0, 100, now=1.0) is not None
+
+
+def test_clear():
+    cache = make_cache()
+    cache.insert(0, 10, now=0.0, fill_rate=1.0)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.lookup(0, 10, now=1.0) is None
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        DiskCache(num_segments=0)
+    with pytest.raises(ValueError):
+        DiskCache(segment_sectors=0)
+    with pytest.raises(ValueError):
+        DiskCache(read_ahead_sectors=-1)

@@ -1,0 +1,213 @@
+"""Tests for the drive service model (repro.disk.drive)."""
+
+import numpy as np
+import pytest
+
+from repro.disk import (
+    DiskCommand,
+    Drive,
+    Interface,
+    fujitsu_map3367np,
+    fujitsu_max3073rc,
+    hitachi_deskstar_7k1000,
+    hitachi_ultrastar_15k450,
+    wd_caviar_blue,
+)
+
+
+@pytest.fixture
+def ultrastar():
+    return Drive(hitachi_ultrastar_15k450())
+
+
+@pytest.fixture
+def caviar():
+    return Drive(wd_caviar_blue())
+
+
+def run_sequential(drive, opcode_factory, sectors, count, turnaround=5e-5):
+    """Issue back-to-back sequential commands; return per-command times."""
+    t, lbn, times = 0.0, 0, []
+    for _ in range(count):
+        br = drive.service(opcode_factory(lbn, sectors), t)
+        times.append(br.total)
+        t = br.finish + turnaround
+        lbn += sectors
+    return times
+
+
+class TestBasics:
+    def test_capacity_matches_spec_ballpark(self, ultrastar):
+        assert ultrastar.capacity_bytes == pytest.approx(300e9, rel=0.03)
+
+    def test_out_of_range_command_rejected(self, ultrastar):
+        with pytest.raises(ValueError):
+            ultrastar.service(
+                DiskCommand.read(ultrastar.total_sectors - 1, 2), 0.0
+            )
+
+    def test_time_order_enforced(self, ultrastar):
+        ultrastar.service(DiskCommand.read(0, 8), 10.0)
+        with pytest.raises(ValueError):
+            ultrastar.service(DiskCommand.read(0, 8), 5.0)
+
+    def test_service_moves_head(self, ultrastar):
+        target = ultrastar.total_sectors // 2
+        ultrastar.service(DiskCommand.read(target, 8), 0.0)
+        assert ultrastar.head_cylinder == ultrastar.geometry.locate(target).cylinder
+
+    def test_breakdown_components_sum(self, ultrastar):
+        br = ultrastar.service(
+            DiskCommand.verify(ultrastar.total_sectors // 3, 128), 0.0
+        )
+        assert br.total == pytest.approx(
+            br.overhead + br.seek + br.rotation + br.transfer
+        )
+
+    def test_media_rate_decreases_inward(self, ultrastar):
+        outer = ultrastar.media_rate(0)
+        inner = ultrastar.media_rate(ultrastar.total_sectors - 1)
+        assert outer > inner
+
+    def test_commands_counted(self, ultrastar):
+        ultrastar.service(DiskCommand.read(0, 8), 0.0)
+        ultrastar.service(DiskCommand.read(8, 8), 1.0)
+        assert ultrastar.commands_serviced == 2
+
+
+class TestPaperFig1:
+    """ATA VERIFY is served from the cache; SCSI VERIFY is not."""
+
+    def test_sequential_scsi_verify_costs_a_rotation(self, ultrastar):
+        times = run_sequential(ultrastar, DiskCommand.verify, 2, 30)
+        period = ultrastar.rotation.period
+        # Paper Fig. 1: SAS VERIFY response ~= rotation period (4.011 ms).
+        assert np.mean(times[5:]) == pytest.approx(period, rel=0.05)
+
+    def test_scsi_verify_insensitive_to_cache(self):
+        on = Drive(hitachi_ultrastar_15k450(), cache_enabled=True)
+        off = Drive(hitachi_ultrastar_15k450(), cache_enabled=False)
+        t_on = run_sequential(on, DiskCommand.verify, 128, 30)
+        t_off = run_sequential(off, DiskCommand.verify, 128, 30)
+        assert np.mean(t_on) == pytest.approx(np.mean(t_off), rel=0.01)
+
+    def test_ata_verify_cache_bug_speeds_up_verify(self):
+        on = Drive(wd_caviar_blue(), cache_enabled=True)
+        off = Drive(wd_caviar_blue(), cache_enabled=False)
+        t_on = run_sequential(on, DiskCommand.verify, 128, 100)
+        t_off = run_sequential(off, DiskCommand.verify, 128, 100)
+        # Paper Fig. 1: ~0.5 ms vs ~8.3 ms at 64 KB; an order of magnitude.
+        assert np.mean(t_on[40:]) < np.mean(t_off[40:]) / 5
+
+    def test_ata_verify_cache_off_costs_a_rotation(self):
+        drive = Drive(wd_caviar_blue(), cache_enabled=False)
+        times = run_sequential(drive, DiskCommand.verify, 2, 30)
+        assert np.mean(times[5:]) == pytest.approx(
+            drive.rotation.period, rel=0.06
+        )
+
+    def test_ata_bug_flag_controls_behaviour(self):
+        spec = wd_caviar_blue().with_overrides(ata_verify_cache_bug=False)
+        fixed = Drive(spec, cache_enabled=True)
+        times = run_sequential(fixed, DiskCommand.verify, 128, 50)
+        assert np.mean(times[5:]) == pytest.approx(
+            fixed.rotation.period, rel=0.25
+        )
+
+
+class TestPaperFig4:
+    """SCSI VERIFY service times stay flat below ~64 KB, then grow."""
+
+    @pytest.mark.parametrize(
+        "spec_factory",
+        [hitachi_ultrastar_15k450, fujitsu_max3073rc, fujitsu_map3367np],
+    )
+    def test_flat_below_64k_then_rising(self, spec_factory):
+        rng = np.random.default_rng(1)
+        means = {}
+        for size_kb in (1, 16, 64, 1024, 4096):
+            drive = Drive(spec_factory())
+            sectors = size_kb * 2
+            t, samples = 0.0, []
+            for _ in range(60):
+                lbn = int(rng.integers(0, drive.total_sectors - sectors))
+                br = drive.service(DiskCommand.verify(lbn, sectors), t)
+                samples.append(br.total)
+                t = br.finish + 5e-5
+            means[size_kb] = float(np.mean(samples))
+        assert means[16] == pytest.approx(means[1], rel=0.15)
+        assert means[64] == pytest.approx(means[1], rel=0.25)
+        assert means[1024] > 1.5 * means[64]
+        assert means[4096] > 2.5 * means[1024]
+
+
+class TestReadCaching:
+    def test_sequential_reads_stream_from_cache(self):
+        drive = Drive(hitachi_ultrastar_15k450(), cache_enabled=True)
+        times = run_sequential(drive, DiskCommand.read, 128, 200, turnaround=1e-4)
+        assert drive.cache.hits > 100
+        # Streaming rate approaches the media rate, far above the
+        # missed-rotation rate.
+        throughput = 128 * 512 / np.mean(times[50:])
+        assert throughput > 50e6
+
+    def test_cache_disabled_reads_pay_rotation(self):
+        drive = Drive(hitachi_ultrastar_15k450(), cache_enabled=False)
+        times = run_sequential(drive, DiskCommand.read, 128, 50)
+        throughput = 128 * 512 / np.mean(times[5:])
+        assert throughput < 20e6
+
+    def test_repeated_read_hits_cache(self):
+        drive = Drive(hitachi_ultrastar_15k450(), cache_enabled=True)
+        first = drive.service(DiskCommand.read(1000, 64), 0.0)
+        second = drive.service(DiskCommand.read(1000, 64), first.finish + 1e-4)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.total < first.total
+
+    def test_write_invalidates_cache(self):
+        drive = Drive(hitachi_ultrastar_15k450(), cache_enabled=True)
+        t = drive.service(DiskCommand.read(1000, 64), 0.0).finish + 1e-4
+        t = drive.service(DiskCommand.write(1000, 64), t).finish + 1e-4
+        third = drive.service(DiskCommand.read(1000, 64), t)
+        assert not third.cache_hit
+
+    def test_scsi_verify_does_not_pollute_cache(self):
+        drive = Drive(hitachi_ultrastar_15k450(), cache_enabled=True)
+        t = drive.service(DiskCommand.verify(1000, 64), 0.0).finish + 1e-4
+        after = drive.service(DiskCommand.read(1000, 64), t)
+        assert not after.cache_hit
+
+    def test_set_cache_enabled_drops_contents(self):
+        drive = Drive(hitachi_ultrastar_15k450(), cache_enabled=True)
+        drive.service(DiskCommand.read(0, 64), 0.0)
+        drive.set_cache_enabled(False)
+        assert len(drive.cache) == 0
+
+
+class TestMultiTrackTransfers:
+    def test_large_transfer_crosses_tracks(self, ultrastar):
+        spt = ultrastar.geometry.sectors_per_track_at(0)
+        br = ultrastar.service(DiskCommand.verify(0, spt * 3), 0.0)
+        # Three track sweeps plus two switches: at least 3 revolutions.
+        assert br.transfer >= 2.9 * ultrastar.rotation.period
+
+    def test_skew_hides_head_switch(self, ultrastar):
+        """With proper skew, crossing a track costs far less than a
+        revolution of re-positioning."""
+        spt = ultrastar.geometry.sectors_per_track_at(0)
+        br = ultrastar.service(DiskCommand.verify(0, spt * 2), 0.0)
+        # rotation component: initial positioning plus per-switch waits.
+        assert br.rotation < 1.5 * ultrastar.rotation.period
+
+
+class TestInterfaces:
+    def test_presets_declare_expected_interfaces(self):
+        assert hitachi_ultrastar_15k450().interface is Interface.SCSI
+        assert wd_caviar_blue().interface is Interface.ATA
+        assert hitachi_deskstar_7k1000().ata_verify_cache_bug
+
+    def test_rotation_periods(self):
+        assert hitachi_ultrastar_15k450().rotation_period == pytest.approx(4e-3)
+        assert wd_caviar_blue().rotation_period == pytest.approx(8.333e-3, rel=1e-3)
+        assert fujitsu_map3367np().rotation_period == pytest.approx(6e-3)

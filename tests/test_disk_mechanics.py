@@ -1,0 +1,98 @@
+"""Tests for seek and rotation models (repro.disk.mechanics)."""
+
+import pytest
+
+from repro.disk import RotationModel, SeekModel
+
+
+class TestSeekModel:
+    def setup_method(self):
+        self.model = SeekModel.from_specs(
+            track_to_track=0.2e-3,
+            average=3.4e-3,
+            full_stroke=6.5e-3,
+            cylinders=100_000,
+        )
+
+    def test_zero_distance_is_free(self):
+        assert self.model.time(0) == 0.0
+
+    def test_fits_anchor_points(self):
+        assert self.model.time(1) == pytest.approx(0.2e-3, rel=1e-6)
+        assert self.model.time(100_000 // 3) == pytest.approx(3.4e-3, rel=1e-2)
+        assert self.model.time(99_999) == pytest.approx(6.5e-3, rel=1e-6)
+
+    def test_monotone_over_typical_range(self):
+        times = [self.model.time(d) for d in range(1, 99_999, 997)]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            self.model.time(-1)
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            SeekModel.from_specs(3e-3, 2e-3, 6e-3, 1000)  # t2t > average
+        with pytest.raises(ValueError):
+            SeekModel.from_specs(1e-3, 2e-3, 6e-3, 2)  # too few cylinders
+
+    def test_never_negative(self):
+        for d in (1, 2, 5, 10, 100, 10_000):
+            assert self.model.time(d) >= 0.0
+
+
+class TestRotationModel:
+    def setup_method(self):
+        self.rot = RotationModel(rpm=15000)
+
+    def test_period(self):
+        assert self.rot.period == pytest.approx(4e-3)
+
+    def test_angle_wraps(self):
+        assert self.rot.angle_at(0.0) == 0.0
+        assert self.rot.angle_at(4e-3) == pytest.approx(0.0)
+        assert self.rot.angle_at(1e-3) == pytest.approx(0.25)
+        assert self.rot.angle_at(5e-3) == pytest.approx(0.25)
+
+    def test_latency_to_target_ahead(self):
+        # At t=0 the head is at angle 0; reaching 0.5 takes half a period.
+        assert self.rot.latency_to(0.5, 0.0) == pytest.approx(2e-3)
+
+    def test_latency_to_target_just_passed(self):
+        # Target barely behind the head costs nearly a full revolution.
+        latency = self.rot.latency_to(0.999, 4e-3 * 1.0)
+        assert latency == pytest.approx(0.999 * 4e-3)
+
+    def test_latency_zero_when_on_target(self):
+        assert self.rot.latency_to(0.25, 1e-3) == pytest.approx(0.0)
+
+    def test_transfer_time_scales_with_sectors(self):
+        full = self.rot.transfer_time(500, 500)
+        half = self.rot.transfer_time(250, 500)
+        assert full == pytest.approx(self.rot.period)
+        assert half == pytest.approx(self.rot.period / 2)
+
+    def test_transfer_more_than_track_rejected(self):
+        with pytest.raises(ValueError):
+            self.rot.transfer_time(501, 500)
+
+    def test_transfer_negative_rejected(self):
+        with pytest.raises(ValueError):
+            self.rot.transfer_time(-1, 500)
+
+    def test_invalid_rpm(self):
+        with pytest.raises(ValueError):
+            RotationModel(rpm=0)
+
+
+def test_missed_rotation_mechanism():
+    """The paper's core effect: a small gap after passing a sector costs
+    almost a full revolution to come back around."""
+    rot = RotationModel(rpm=15000)
+    # Suppose a transfer finished exactly at angle 0 at time t0=4ms.
+    # 0.3 ms later the host issues the next sequential command, whose
+    # target angle is 0 (the sector right after the one just passed).
+    t_issue = 4e-3 + 0.3e-3
+    latency = rot.latency_to(0.0, t_issue)
+    assert latency == pytest.approx(4e-3 - 0.3e-3)
+    assert latency > 0.9 * rot.period

@@ -1,0 +1,22 @@
+"""Run the doctests embedded in module documentation.
+
+The examples in docstrings are part of the public contract; this
+keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.sim
+import repro.sim.engine
+import repro.sim.rng
+
+MODULES = [repro.sim, repro.sim.engine, repro.sim.rng]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

@@ -1,0 +1,187 @@
+"""Property-based tests for scrub orders, policies and analysis."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.service_model import ScrubServiceModel
+from repro.analysis.slowdown import simulate_fixed_waiting
+from repro.core import SequentialScrub, StaggeredScrub
+from repro.core.adaptive import ExponentialSchedule, LinearSchedule
+from repro.core.policies import (
+    LosslessWaitingPolicy,
+    OraclePolicy,
+    WaitingPolicy,
+)
+from repro.stats.hazard import usable_fraction
+from repro.stats.tails import tail_concentration
+
+#: A cheap linear service model (no drive measurement needed).
+SERVICE = ScrubServiceModel([65536, 4 * 1024 * 1024], [0.005, 0.045])
+
+durations_strategy = st.lists(
+    st.floats(1e-6, 1e4, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=300,
+).map(np.asarray)
+
+
+class TestScrubOrderProperties:
+    @given(
+        total=st.integers(1, 3000),
+        step=st.integers(1, 200),
+        regions=st.integers(1, 40),
+    )
+    @settings(max_examples=200)
+    def test_staggered_covers_each_sector_exactly_once(
+        self, total, step, regions
+    ):
+        algorithm = StaggeredScrub(regions)
+        algorithm.reset(total, step)
+        seen = np.zeros(total, dtype=int)
+        while True:
+            extent = algorithm.next_extent()
+            if extent is None:
+                break
+            lbn, sectors = extent
+            assert sectors >= 1
+            assert lbn + sectors <= total
+            seen[lbn : lbn + sectors] += 1
+        assert np.all(seen == 1)
+
+    @given(total=st.integers(1, 3000), step=st.integers(1, 200))
+    @settings(max_examples=100)
+    def test_sequential_extents_are_adjacent_and_complete(self, total, step):
+        algorithm = SequentialScrub()
+        algorithm.reset(total, step)
+        expected_next = 0
+        while True:
+            extent = algorithm.next_extent()
+            if extent is None:
+                break
+            lbn, sectors = extent
+            assert lbn == expected_next
+            expected_next += sectors
+        assert expected_next == total
+
+
+class TestPolicyProperties:
+    @given(durations=durations_strategy, threshold=st.floats(0, 1e3))
+    @settings(max_examples=200)
+    def test_waiting_utilisation_bounded_by_total_idle(
+        self, durations, threshold
+    ):
+        policy = WaitingPolicy(threshold)
+        utilised = policy.utilised_time(durations)
+        assert np.all(utilised >= 0)
+        assert utilised.sum() <= durations.sum() + 1e-9
+        assert np.all(utilised <= durations)
+
+    @given(
+        durations=durations_strategy,
+        thresholds=st.tuples(st.floats(0, 100), st.floats(0, 100)),
+    )
+    @settings(max_examples=200)
+    def test_waiting_monotone_in_threshold(self, durations, thresholds):
+        low, high = sorted(thresholds)
+        low_policy, high_policy = WaitingPolicy(low), WaitingPolicy(high)
+        assert (
+            high_policy.fired_mask(durations).sum()
+            <= low_policy.fired_mask(durations).sum()
+        )
+        assert (
+            high_policy.utilised_time(durations).sum()
+            <= low_policy.utilised_time(durations).sum() + 1e-9
+        )
+
+    @given(durations=durations_strategy, budget=st.floats(0, 1))
+    @settings(max_examples=200)
+    def test_oracle_is_optimal_for_its_budget(self, durations, budget):
+        """No same-collision-count selection beats the Oracle."""
+        oracle = OraclePolicy(budget)
+        fired = oracle.fired_mask(durations)
+        count = int(fired.sum())
+        utilised = oracle.utilised_time(durations).sum()
+        best_possible = np.sort(durations)[::-1][:count].sum()
+        assert utilised == pytest.approx(best_possible, rel=1e-9, abs=1e-9)
+
+    @given(durations=durations_strategy, threshold=st.floats(0, 1e3))
+    @settings(max_examples=200)
+    def test_lossless_dominates_waiting(self, durations, threshold):
+        waiting = WaitingPolicy(threshold)
+        lossless = LosslessWaitingPolicy(threshold)
+        assert np.array_equal(
+            waiting.fired_mask(durations), lossless.fired_mask(durations)
+        )
+        assert (
+            lossless.utilised_time(durations).sum()
+            >= waiting.utilised_time(durations).sum() - 1e-12
+        )
+
+
+class TestHazardProperties:
+    @given(durations=durations_strategy)
+    @settings(max_examples=200)
+    def test_tail_concentration_is_a_valid_curve(self, durations):
+        fractions, idle = tail_concentration(durations + 1e-9)
+        assert fractions[-1] == pytest.approx(1.0)
+        assert idle[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(idle) >= -1e-12)
+        # Largest-first ordering: the curve lies above the diagonal.
+        assert np.all(idle >= fractions - 1e-9)
+
+    @given(durations=durations_strategy, taus=st.lists(
+        st.floats(0, 1e3), min_size=1, max_size=5).map(np.asarray))
+    @settings(max_examples=200)
+    def test_usable_fraction_within_unit_interval(self, durations, taus):
+        result = usable_fraction(durations + 1e-9, taus)
+        assert np.all(result >= -1e-12)
+        assert np.all(result <= 1.0 + 1e-12)
+
+
+class TestSlowdownProperties:
+    @given(
+        durations=durations_strategy,
+        threshold=st.floats(0, 10),
+        size_kb=st.sampled_from([64, 256, 1024, 4096]),
+    )
+    @settings(max_examples=150)
+    def test_fixed_waiting_accounting_is_consistent(
+        self, durations, threshold, size_kb
+    ):
+        total = max(len(durations), 1)
+        result = simulate_fixed_waiting(
+            durations, threshold, size_kb * 1024, SERVICE, total, 1e4
+        )
+        assert result.collisions <= len(durations)
+        assert result.mean_slowdown >= 0
+        service = float(SERVICE.time(float(size_kb * 1024)))
+        assert result.max_slowdown <= service + 1e-12
+        assert result.scrub_bytes >= 0
+        # Scrubbed time never exceeds the idle time beyond thresholds
+        # (plus one in-flight request per fired interval).
+        fired = durations > threshold
+        budget = float(
+            np.sum(durations[fired] - threshold) + fired.sum() * service
+        )
+        assert result.scrub_bytes / (size_kb * 1024) * service <= budget + 1e-6
+
+    @given(
+        start_kb=st.sampled_from([64, 128]),
+        factor=st.floats(1.1, 4.0),
+        index=st.integers(0, 60),
+        elapsed=st.floats(0, 1e4),
+    )
+    @settings(max_examples=200)
+    def test_schedules_respect_caps(self, start_kb, factor, index, elapsed):
+        cap = 4 * 1024 * 1024
+        for schedule in (
+            ExponentialSchedule(start_kb * 1024, factor, cap),
+            LinearSchedule(start_kb * 1024, factor, 65536, cap),
+        ):
+            size = schedule.size_at(index, elapsed)
+            assert 512 <= size <= cap
+            assert size % 512 == 0
+            # Non-decreasing in the request index.
+            assert schedule.size_at(index + 1, elapsed) >= size

@@ -1,0 +1,111 @@
+"""Property-based tests for the simulation kernel and trace tooling."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.sim import Simulation
+from repro.stats import acf
+from repro.traces.idle import idle_intervals
+
+
+class TestEngineProperties:
+    @given(
+        delays=st.lists(st.floats(0, 100), min_size=1, max_size=50),
+    )
+    @settings(max_examples=200)
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulation()
+        fired = []
+        for delay in delays:
+            sim.timeout(delay).callbacks.append(
+                lambda ev: fired.append(sim.now)
+            )
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+        assert sim.now == max(delays)
+
+    @given(
+        delays=st.lists(st.floats(0.001, 50), min_size=1, max_size=30),
+    )
+    @settings(max_examples=150)
+    def test_sequential_process_accumulates_delays(self, delays):
+        sim = Simulation()
+
+        def proc(sim):
+            for delay in delays:
+                yield sim.timeout(delay)
+            return sim.now
+
+        p = sim.process(proc(sim))
+        assert sim.run(until=p) == pytest.approx(sum(delays))
+
+    @given(
+        counts=st.integers(1, 40),
+        delay=st.floats(0.001, 10),
+    )
+    @settings(max_examples=100)
+    def test_parallel_processes_all_complete(self, counts, delay):
+        sim = Simulation()
+        done = []
+
+        def proc(sim, i):
+            yield sim.timeout(delay * (i + 1))
+            done.append(i)
+
+        for i in range(counts):
+            sim.process(proc(sim, i))
+        sim.run()
+        assert sorted(done) == list(range(counts))
+
+
+class TestIdleExtractionProperties:
+    arrivals = st.lists(
+        st.floats(0, 1e4, allow_nan=False), min_size=2, max_size=200
+    ).map(lambda xs: np.sort(np.asarray(xs)))
+
+    @given(times=arrivals, service=st.floats(1e-6, 10.0))
+    @settings(max_examples=200)
+    def test_idle_time_bounded_by_span(self, times, service):
+        starts, durations = idle_intervals(
+            times, np.full(len(times), service)
+        )
+        span = times[-1] - times[0]
+        assert durations.sum() <= span + 1e-9
+        assert np.all(durations > 0)
+        # Idle intervals start inside the observation window.
+        assert np.all(starts >= times[0])
+        assert np.all(starts + durations <= times[-1] + 1e-9)
+
+    @given(times=arrivals, service=st.floats(1e-6, 10.0))
+    @settings(max_examples=200)
+    def test_idle_intervals_are_disjoint_and_ordered(self, times, service):
+        starts, durations = idle_intervals(
+            times, np.full(len(times), service)
+        )
+        ends = starts + durations
+        assert np.all(starts[1:] >= ends[:-1] - 1e-9)
+
+    @given(times=arrivals)
+    @settings(max_examples=100)
+    def test_zero_service_idle_equals_interarrivals(self, times):
+        starts, durations = idle_intervals(times, np.zeros(len(times)))
+        gaps = np.diff(times)
+        assert durations.sum() == pytest.approx(gaps.sum())
+
+
+class TestAcfProperties:
+    @given(
+        x=st.lists(
+            st.floats(-1e3, 1e3, allow_nan=False), min_size=8, max_size=300
+        ).map(np.asarray),
+    )
+    @settings(max_examples=200)
+    def test_acf_bounds(self, x):
+        if np.std(x) == 0:
+            return  # degenerate; rejected by acf
+        values = acf(x, min(5, len(x) - 1))
+        assert values[0] == pytest.approx(1.0)
+        assert np.all(np.abs(values) <= 1.0 + 1e-9)

@@ -1,0 +1,202 @@
+"""Tests for the CFQ scheduler model (repro.sched.cfq)."""
+
+import pytest
+
+from repro.disk.commands import DiskCommand
+from repro.sched import CFQScheduler, IORequest, PriorityClass
+
+
+def req(lbn=0, priority=PriorityClass.BE, source="fg", barrier=False, now=0.0):
+    request = IORequest(
+        DiskCommand.read(lbn, 8),
+        priority=priority,
+        source=source,
+        soft_barrier=barrier,
+    )
+    request.stamp_submit(now)
+    return request
+
+
+def make(idle_gate=0.010, slice_sync=0.1, slice_idle=0.008):
+    return CFQScheduler(
+        idle_gate=idle_gate, slice_sync=slice_sync, slice_idle=slice_idle
+    )
+
+
+def test_empty_scheduler_sleeps():
+    cfq = make()
+    assert cfq.select(0.0) == (None, None)
+    assert len(cfq) == 0
+
+
+def test_rt_beats_be():
+    cfq = make()
+    be = req(priority=PriorityClass.BE)
+    rt = req(priority=PriorityClass.RT)
+    cfq.add(be, 0.0)
+    cfq.add(rt, 0.0)
+    chosen, _ = cfq.select(0.0)
+    assert chosen is rt
+
+
+def test_be_beats_idle():
+    cfq = make()
+    idle = req(priority=PriorityClass.IDLE, source="scrub")
+    be = req(priority=PriorityClass.BE)
+    cfq.add(idle, 0.0)
+    cfq.add(be, 0.0)
+    chosen, _ = cfq.select(0.0)
+    assert chosen is be
+
+
+def test_idle_class_gated_until_quiescence():
+    cfq = make(idle_gate=0.010)
+    fg = req(priority=PriorityClass.BE)
+    cfq.add(fg, 0.0)
+    chosen, _ = cfq.select(0.0)
+    cfq.on_dispatch(chosen, 0.0)
+    cfq.on_complete(chosen, 0.005)
+
+    scrub = req(priority=PriorityClass.IDLE, source="scrub", now=0.006)
+    cfq.add(scrub, 0.006)
+    # Foreground completed at 5 ms; the gate opens at 15 ms.
+    chosen, recheck = cfq.select(0.006)
+    assert chosen is None
+    assert recheck == pytest.approx(0.015)
+    chosen, _ = cfq.select(0.015)
+    assert chosen is scrub
+
+
+def test_idle_gate_open_when_no_foreground_history():
+    cfq = make(idle_gate=0.010)
+    scrub = req(priority=PriorityClass.IDLE, source="scrub")
+    cfq.add(scrub, 0.0)
+    chosen, _ = cfq.select(0.0)
+    assert chosen is scrub
+
+
+def test_back_to_back_idle_requests_flow_once_gate_open():
+    cfq = make(idle_gate=0.010)
+    s1 = req(priority=PriorityClass.IDLE, source="scrub")
+    s2 = req(lbn=8, priority=PriorityClass.IDLE, source="scrub")
+    cfq.add(s1, 0.0)
+    cfq.add(s2, 0.0)
+    first, _ = cfq.select(0.0)
+    cfq.on_dispatch(first, 0.0)
+    cfq.on_complete(first, 0.004)
+    second, _ = cfq.select(0.004)
+    assert second is s2  # completing an idle request must not re-arm the gate
+
+
+def test_be_slice_owner_keeps_disk():
+    cfq = make(slice_sync=0.1)
+    a1 = req(lbn=0, source="a")
+    b1 = req(lbn=1000, source="b")
+    cfq.add(a1, 0.0)
+    cfq.add(b1, 0.0)
+    first, _ = cfq.select(0.0)
+    cfq.on_dispatch(first, 0.0)
+    cfq.on_complete(first, 0.004)
+    # Owner "a" submits again within its slice: it goes first even though
+    # "b" has been waiting longer.
+    a2 = req(lbn=8, source="a", now=0.004)
+    cfq.add(a2, 0.004)
+    second, _ = cfq.select(0.004)
+    assert second is a2
+
+
+def test_be_slice_anticipation_waits_for_owner():
+    cfq = make(slice_sync=0.1, slice_idle=0.008)
+    a1 = req(lbn=0, source="a")
+    cfq.add(a1, 0.0)
+    first, _ = cfq.select(0.0)
+    cfq.on_dispatch(first, 0.0)
+    cfq.on_complete(first, 0.004)
+    b1 = req(lbn=1000, source="b", now=0.004)
+    cfq.add(b1, 0.004)
+    # Owner queue is empty but anticipated until 4 ms + 8 ms = 12 ms.
+    chosen, recheck = cfq.select(0.0041)
+    assert chosen is None
+    assert recheck == pytest.approx(0.012)
+    chosen, _ = cfq.select(0.012)
+    assert chosen is b1
+
+
+def test_be_slice_expires_and_rotates():
+    cfq = make(slice_sync=0.01)
+    a1 = req(lbn=0, source="a")
+    a2 = req(lbn=8, source="a")
+    b1 = req(lbn=1000, source="b")
+    cfq.add(a1, 0.0)
+    cfq.add(a2, 0.0)
+    cfq.add(b1, 0.0)
+    first, _ = cfq.select(0.0)
+    assert first.source == "a"
+    # Past the slice end, the other source takes over despite "a" backlog.
+    second, _ = cfq.select(0.02)
+    assert second is b1
+
+
+def test_soft_barrier_ignores_priority():
+    cfq = make()
+    barrier = req(priority=PriorityClass.IDLE, source="scrub", barrier=True)
+    cfq.add(barrier, 0.0)
+    fg = req(priority=PriorityClass.RT, now=1.0)
+    cfq.add(fg, 1.0)
+    # The barrier was submitted first: even an RT request cannot overtake.
+    chosen, _ = cfq.select(1.0)
+    assert chosen is barrier
+    chosen, _ = cfq.select(1.0)
+    assert chosen is fg
+
+
+def test_requests_before_barrier_drain_first():
+    cfq = make()
+    fg = req(priority=PriorityClass.BE)
+    cfq.add(fg, 0.0)
+    barrier = req(source="scrub", barrier=True, now=0.001)
+    cfq.add(barrier, 0.001)
+    first, _ = cfq.select(0.002)
+    assert first is fg
+    second, _ = cfq.select(0.002)
+    assert second is barrier
+
+
+def test_barriers_fifo_among_themselves():
+    cfq = make()
+    b1 = req(lbn=500, barrier=True)
+    b2 = req(lbn=100, barrier=True, now=0.001)
+    cfq.add(b1, 0.0)
+    cfq.add(b2, 0.001)
+    assert cfq.select(0.002)[0] is b1
+    assert cfq.select(0.002)[0] is b2
+
+
+def test_barrier_resets_idle_gate():
+    cfq = make(idle_gate=0.010)
+    barrier = req(barrier=True)
+    cfq.add(barrier, 0.0)
+    dispatched, _ = cfq.select(0.0)
+    cfq.on_dispatch(dispatched, 0.0)
+    cfq.on_complete(dispatched, 0.004)
+    scrub = req(priority=PriorityClass.IDLE, source="scrub", now=0.005)
+    cfq.add(scrub, 0.005)
+    chosen, recheck = cfq.select(0.005)
+    assert chosen is None
+    assert recheck == pytest.approx(0.014)
+
+
+def test_len_counts_all_queues():
+    cfq = make()
+    cfq.add(req(priority=PriorityClass.RT), 0.0)
+    cfq.add(req(priority=PriorityClass.BE), 0.0)
+    cfq.add(req(priority=PriorityClass.IDLE), 0.0)
+    cfq.add(req(barrier=True), 0.0)
+    assert len(cfq) == 4
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        CFQScheduler(idle_gate=-1)
+    with pytest.raises(ValueError):
+        CFQScheduler(slice_sync=0)

@@ -1,0 +1,277 @@
+"""Tests for generator-based processes (repro.sim.process)."""
+
+import pytest
+
+from repro.sim import Interrupt, Simulation
+
+
+def test_process_runs_to_completion():
+    sim = Simulation()
+    steps = []
+
+    def proc(sim):
+        steps.append(sim.now)
+        yield sim.timeout(1)
+        steps.append(sim.now)
+        yield sim.timeout(2)
+        steps.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert steps == [0.0, 1.0, 3.0]
+
+
+def test_process_return_value_becomes_event_value():
+    sim = Simulation()
+
+    def proc(sim):
+        yield sim.timeout(1)
+        return {"answer": 42}
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == {"answer": 42}
+
+
+def test_process_requires_generator():
+    sim = Simulation()
+    with pytest.raises(TypeError):
+        sim.process(lambda: None)
+
+
+def test_process_waits_on_another_process():
+    sim = Simulation()
+
+    def child(sim):
+        yield sim.timeout(3)
+        return "child-result"
+
+    def parent(sim):
+        result = yield sim.process(child(sim))
+        return result
+
+    p = sim.process(parent(sim))
+    assert sim.run(until=p) == "child-result"
+
+
+def test_yield_non_event_fails_process():
+    sim = Simulation()
+
+    def proc(sim):
+        yield "nonsense"
+
+    p = sim.process(proc(sim))
+    with pytest.raises(RuntimeError, match="non-event"):
+        sim.run()
+    assert not p.is_alive
+
+
+def test_yield_foreign_event_fails_process():
+    sim, other = Simulation(), Simulation()
+
+    def proc(sim):
+        yield other.timeout(1)
+
+    sim.process(proc(sim))
+    with pytest.raises(RuntimeError, match="another simulation"):
+        sim.run()
+
+
+def test_exception_in_process_propagates():
+    sim = Simulation()
+
+    def proc(sim):
+        yield sim.timeout(1)
+        raise ValueError("exploded")
+
+    sim.process(proc(sim))
+    with pytest.raises(ValueError, match="exploded"):
+        sim.run()
+
+
+def test_failed_process_caught_by_waiter():
+    sim = Simulation()
+    caught = {}
+
+    def child(sim):
+        yield sim.timeout(1)
+        raise ValueError("child failure")
+
+    def parent(sim):
+        try:
+            yield sim.process(child(sim))
+        except ValueError as exc:
+            caught["msg"] = str(exc)
+
+    sim.process(parent(sim))
+    sim.run()
+    assert caught["msg"] == "child failure"
+
+
+def test_interrupt_delivers_cause():
+    sim = Simulation()
+    seen = {}
+
+    def victim(sim):
+        try:
+            yield sim.timeout(100)
+        except Interrupt as exc:
+            seen["cause"] = exc.cause
+            seen["time"] = sim.now
+
+    def attacker(sim, victim_proc):
+        yield sim.timeout(4)
+        victim_proc.interrupt("preempted")
+
+    v = sim.process(victim(sim))
+    sim.process(attacker(sim, v))
+    sim.run()
+    assert seen == {"cause": "preempted", "time": 4.0}
+
+
+def test_interrupted_process_can_continue():
+    sim = Simulation()
+    trace = []
+
+    def victim(sim):
+        try:
+            yield sim.timeout(100)
+        except Interrupt:
+            trace.append(("interrupted", sim.now))
+        yield sim.timeout(5)
+        trace.append(("done", sim.now))
+
+    def attacker(sim, v):
+        yield sim.timeout(2)
+        v.interrupt()
+
+    v = sim.process(victim(sim))
+    sim.process(attacker(sim, v))
+    sim.run()
+    assert trace == [("interrupted", 2.0), ("done", 7.0)]
+
+
+def test_stale_target_does_not_resume_after_interrupt():
+    """The originally awaited timeout must not wake an interrupted process."""
+    sim = Simulation()
+    wakeups = []
+
+    def victim(sim):
+        try:
+            yield sim.timeout(10)
+            wakeups.append("timeout")
+        except Interrupt:
+            wakeups.append("interrupt")
+        yield sim.timeout(100)
+        wakeups.append("second")
+
+    def attacker(sim, v):
+        yield sim.timeout(1)
+        v.interrupt()
+
+    v = sim.process(victim(sim))
+    sim.process(attacker(sim, v))
+    sim.run()
+    assert wakeups == ["interrupt", "second"]
+
+
+def test_interrupt_finished_process_raises():
+    sim = Simulation()
+
+    def quick(sim):
+        yield sim.timeout(1)
+
+    p = sim.process(quick(sim))
+    sim.run()
+    with pytest.raises(RuntimeError, match="finished"):
+        p.interrupt()
+
+
+def test_self_interrupt_rejected():
+    sim = Simulation()
+
+    def selfish(sim):
+        yield sim.timeout(0)
+        sim.active_process.interrupt()
+
+    sim.process(selfish(sim))
+    with pytest.raises(RuntimeError, match="cannot interrupt itself"):
+        sim.run()
+
+
+def test_unhandled_interrupt_fails_process_but_waiter_can_catch():
+    sim = Simulation()
+    caught = {}
+
+    def victim(sim):
+        yield sim.timeout(100)
+
+    def parent(sim, v):
+        try:
+            yield v
+        except Interrupt as exc:
+            caught["cause"] = exc.cause
+
+    v = sim.process(victim(sim))
+    sim.process(parent(sim, v))
+
+    def attacker(sim, v):
+        yield sim.timeout(1)
+        v.interrupt("kill")
+
+    sim.process(attacker(sim, v))
+    sim.run()
+    assert caught["cause"] == "kill"
+
+
+def test_is_alive_lifecycle():
+    sim = Simulation()
+
+    def proc(sim):
+        yield sim.timeout(5)
+
+    p = sim.process(proc(sim))
+    assert p.is_alive
+    sim.run()
+    assert not p.is_alive
+
+
+def test_active_process_visible_during_execution():
+    sim = Simulation()
+    seen = []
+
+    def proc(sim):
+        seen.append(sim.active_process)
+        yield sim.timeout(1)
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert seen == [p]
+    assert sim.active_process is None
+
+
+def test_yield_already_processed_event_resumes_immediately():
+    sim = Simulation()
+    t = sim.timeout(1, "old-value")
+    sim.run()
+
+    def proc(sim):
+        value = yield t
+        return (sim.now, value)
+
+    p = sim.process(proc(sim))
+    assert sim.run(until=p) == (1.0, "old-value")
+
+
+def test_many_processes_interleave_deterministically():
+    sim = Simulation()
+    order = []
+
+    def proc(sim, name, delay):
+        yield sim.timeout(delay)
+        order.append(name)
+
+    for name, delay in [("a", 3), ("b", 1), ("c", 2), ("d", 1)]:
+        sim.process(proc(sim, name, delay))
+    sim.run()
+    assert order == ["b", "d", "c", "a"]

@@ -1,0 +1,179 @@
+"""Tests for Resource and Store (repro.sim.resources)."""
+
+import pytest
+
+from repro.sim import Resource, Simulation, Store
+
+
+def hold(sim, res, name, duration, log):
+    req = res.request()
+    yield req
+    try:
+        log.append(("acquire", name, sim.now))
+        yield sim.timeout(duration)
+    finally:
+        res.release(req)
+        log.append(("release", name, sim.now))
+
+
+def test_resource_serialises_unit_capacity():
+    sim = Simulation()
+    res = Resource(sim, capacity=1)
+    log = []
+    sim.process(hold(sim, res, "a", 5, log))
+    sim.process(hold(sim, res, "b", 3, log))
+    sim.run()
+    assert log == [
+        ("acquire", "a", 0.0),
+        ("release", "a", 5.0),
+        ("acquire", "b", 5.0),
+        ("release", "b", 8.0),
+    ]
+
+
+def test_resource_capacity_two_runs_pair_concurrently():
+    sim = Simulation()
+    res = Resource(sim, capacity=2)
+    log = []
+    for name in ("a", "b", "c"):
+        sim.process(hold(sim, res, name, 4, log))
+    sim.run()
+    acquires = [(n, t) for op, n, t in log if op == "acquire"]
+    assert acquires == [("a", 0.0), ("b", 0.0), ("c", 4.0)]
+
+
+def test_resource_fifo_ordering():
+    sim = Simulation()
+    res = Resource(sim, capacity=1)
+    log = []
+
+    def staggered(sim, res, name, start, log):
+        yield sim.timeout(start)
+        yield from hold(sim, res, name, 10, log)
+
+    for name, start in [("first", 1), ("second", 2), ("third", 3)]:
+        sim.process(staggered(sim, res, name, start, log))
+    sim.run()
+    acquires = [n for op, n, _ in log if op == "acquire"]
+    assert acquires == ["first", "second", "third"]
+
+
+def test_resource_counts():
+    sim = Simulation()
+    res = Resource(sim, capacity=1)
+    log = []
+    sim.process(hold(sim, res, "a", 5, log))
+    sim.process(hold(sim, res, "b", 5, log))
+    sim.run(until=1)
+    assert res.count == 1
+    assert res.queue_length == 1
+
+
+def test_resource_invalid_capacity():
+    with pytest.raises(ValueError):
+        Resource(Simulation(), capacity=0)
+
+
+def test_release_without_hold_raises():
+    sim = Simulation()
+    res = Resource(sim, capacity=1)
+    req = res.request()
+    sim.run()
+    res.release(req)
+    with pytest.raises(RuntimeError):
+        res.release(req)
+
+
+def test_cancel_waiting_request():
+    sim = Simulation()
+    res = Resource(sim, capacity=1)
+    first = res.request()
+    second = res.request()
+    assert res.queue_length == 1
+    res.cancel(second)
+    assert res.queue_length == 0
+    with pytest.raises(RuntimeError):
+        res.cancel(second)
+    res.release(first)
+    sim.run()
+
+
+def test_request_context_manager_releases():
+    sim = Simulation()
+    res = Resource(sim, capacity=1)
+    times = []
+
+    def proc(sim, res, name):
+        with res.request() as req:
+            yield req
+            times.append((name, sim.now))
+            yield sim.timeout(2)
+
+    sim.process(proc(sim, res, "a"))
+    sim.process(proc(sim, res, "b"))
+    sim.run()
+    assert times == [("a", 0.0), ("b", 2.0)]
+
+
+def test_store_put_then_get():
+    sim = Simulation()
+    store = Store(sim)
+    store.put("item")
+    got = {}
+
+    def getter(sim, store):
+        got["value"] = yield store.get()
+
+    sim.process(getter(sim, store))
+    sim.run()
+    assert got["value"] == "item"
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulation()
+    store = Store(sim)
+    got = {}
+
+    def getter(sim, store):
+        got["value"] = yield store.get()
+        got["time"] = sim.now
+
+    def putter(sim, store):
+        yield sim.timeout(5)
+        store.put(99)
+
+    sim.process(getter(sim, store))
+    sim.process(putter(sim, store))
+    sim.run()
+    assert got == {"value": 99, "time": 5.0}
+
+
+def test_store_fifo_order_for_items_and_getters():
+    sim = Simulation()
+    store = Store(sim)
+    received = []
+
+    def getter(sim, store, name):
+        item = yield store.get()
+        received.append((name, item))
+
+    sim.process(getter(sim, store, "g1"))
+    sim.process(getter(sim, store, "g2"))
+
+    def putter(sim, store):
+        yield sim.timeout(1)
+        store.put("first")
+        store.put("second")
+
+    sim.process(putter(sim, store))
+    sim.run()
+    assert received == [("g1", "first"), ("g2", "second")]
+
+
+def test_store_len_reflects_buffered_items():
+    sim = Simulation()
+    store = Store(sim)
+    assert len(store) == 0
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2

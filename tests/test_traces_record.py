@@ -1,0 +1,138 @@
+"""Tests for the Trace container and CSV round-tripping (repro.traces)."""
+
+import numpy as np
+import pytest
+
+from repro.traces import Trace, TraceRecord, read_csv_trace, write_csv_trace
+
+
+def make_trace(**meta):
+    return Trace(
+        times=[0.0, 1.0, 2.5, 2.5, 10.0],
+        lbns=[100, 200, 100, 300, 50],
+        sectors=[8, 16, 8, 32, 8],
+        is_write=[False, True, False, False, True],
+        **meta,
+    )
+
+
+class TestTrace:
+    def test_len_and_duration(self):
+        trace = make_trace()
+        assert len(trace) == 5
+        assert trace.duration == 10.0
+
+    def test_empty_trace(self):
+        trace = Trace(np.zeros(0), np.zeros(0, int), np.ones(0, int), np.zeros(0, bool))
+        assert len(trace) == 0
+        assert trace.duration == 0.0
+
+    def test_interarrivals(self):
+        trace = make_trace()
+        assert np.allclose(trace.interarrivals, [1.0, 1.5, 0.0, 7.5])
+
+    def test_rejects_decreasing_times(self):
+        with pytest.raises(ValueError):
+            Trace([1.0, 0.5], [0, 0], [8, 8], [False, False])
+
+    def test_rejects_bad_sectors_and_lbns(self):
+        with pytest.raises(ValueError):
+            Trace([0.0], [0], [0], [False])
+        with pytest.raises(ValueError):
+            Trace([0.0], [-1], [8], [False])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            Trace([0.0, 1.0], [0], [8], [False])
+
+    def test_records_iteration(self):
+        trace = make_trace()
+        records = list(trace.records())
+        assert len(records) == 5
+        assert records[1] == TraceRecord(time=1.0, lbn=200, sectors=16, is_write=True)
+
+    def test_window_rebases_times(self):
+        trace = make_trace()
+        sub = trace.window(1.0, 3.0)
+        assert len(sub) == 3
+        assert sub.times[0] == 0.0
+        assert np.allclose(sub.times, [0.0, 1.5, 1.5])
+
+    def test_window_invalid(self):
+        with pytest.raises(ValueError):
+            make_trace().window(5.0, 1.0)
+
+    def test_requests_per_bin(self):
+        trace = make_trace()
+        counts = trace.requests_per_bin(bin_seconds=5.0)
+        assert counts.tolist() == [4, 1]
+
+    def test_requests_per_bin_invalid(self):
+        with pytest.raises(ValueError):
+            make_trace().requests_per_bin(0)
+
+    def test_from_records_roundtrip(self):
+        trace = make_trace(name="t")
+        rebuilt = Trace.from_records(trace.records(), name="t")
+        assert np.allclose(rebuilt.times, trace.times)
+        assert np.array_equal(rebuilt.lbns, trace.lbns)
+
+
+class TestCsvIO:
+    def test_roundtrip(self, tmp_path):
+        trace = make_trace(
+            name="unit", description="round trip", capacity_sectors=1000
+        )
+        path = tmp_path / "trace.csv"
+        write_csv_trace(trace, path)
+        loaded = read_csv_trace(path)
+        assert loaded.name == "unit"
+        assert loaded.description == "round trip"
+        assert loaded.capacity_sectors == 1000
+        assert np.allclose(loaded.times, trace.times)
+        assert np.array_equal(loaded.lbns, trace.lbns)
+        assert np.array_equal(loaded.is_write, trace.is_write)
+
+    def test_roundtrip_gzip(self, tmp_path):
+        trace = make_trace(name="zipped")
+        path = tmp_path / "trace.csv.gz"
+        write_csv_trace(trace, path)
+        loaded = read_csv_trace(path)
+        assert len(loaded) == len(trace)
+
+    def test_msr_dialect(self, tmp_path):
+        path = tmp_path / "msr.csv"
+        ticks = 10_000_000
+        path.write_text(
+            f"128166372003061629,src1,1,Read,{512 * 1000},4096,1500\n"
+            f"{128166372003061629 + ticks},src1,1,Write,{512 * 2000},8192,800\n"
+        )
+        trace = read_csv_trace(path)
+        assert len(trace) == 2
+        assert trace.times[0] == 0.0
+        assert trace.times[1] == pytest.approx(1.0)
+        assert trace.lbns.tolist() == [1000, 2000]
+        assert trace.sectors.tolist() == [8, 16]
+        assert trace.is_write.tolist() == [False, True]
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("# name: nothing\n")
+        trace = read_csv_trace(path)
+        assert len(trace) == 0
+        assert trace.name == "nothing"
+
+    def test_unrecognised_dialect(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1.0,2.0\n3.0,4.0\n")
+        with pytest.raises(ValueError, match="dialect"):
+            read_csv_trace(path)
+
+    def test_unsorted_canonical_is_sorted(self, tmp_path):
+        path = tmp_path / "unsorted.csv"
+        path.write_text(
+            "time,lbn,sectors,op\n5.0,10,8,R\n1.0,20,8,W\n"
+        )
+        trace = read_csv_trace(path)
+        assert trace.times.tolist() == [1.0, 5.0]
+        assert trace.lbns.tolist() == [20, 10]
