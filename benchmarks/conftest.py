@@ -6,16 +6,24 @@ with a single round — these are *experiment regenerators*, not
 micro-benchmarks — and store their result rows in
 ``benchmark.extra_info`` so ``--benchmark-json`` output carries the
 reproduced numbers.  Run with ``-s`` to see the paper-style tables.
+
+The sweeps inside the experiments route through a
+:class:`repro.parallel.SweepRunner`.  By default it runs serial and
+uncached so the recorded timings measure real work; set
+``REPRO_BENCH_WORKERS=<n>`` to fan sweeps across processes and
+``REPRO_BENCH_CACHE=<dir>`` to reuse results across runs.
 """
 
 from __future__ import annotations
 
 import functools
+import os
 
 import pytest
 
 from repro.analysis.service_model import ScrubServiceModel
 from repro.disk import hitachi_ultrastar_15k450
+from repro.parallel import ResultCache, SweepRunner
 from repro.traces import generate_trace
 from repro.traces.catalog import trace_idle_intervals
 
@@ -40,6 +48,15 @@ def ultrastar():
 @pytest.fixture(scope="session")
 def service_model(ultrastar):
     return ScrubServiceModel.from_spec(ultrastar)
+
+
+@pytest.fixture(scope="session")
+def sweep_runner():
+    """Sweep executor for the experiments (serial/uncached by default)."""
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "0") or 0)
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE")
+    cache = ResultCache(cache_dir) if cache_dir else None
+    return SweepRunner(workers=workers, cache=cache)
 
 
 def run_once(benchmark, func):

@@ -1,0 +1,125 @@
+"""Perf smoke check: kernel microbenchmark + cached sweep -> BENCH_PR1.json.
+
+Runs two measurements and writes the combined record to
+``BENCH_PR1.json`` at the repo root:
+
+1. the kernel microbenchmark (``perf_kernel.py``): the 1M-event
+   timeout/process churn workload on the frozen seed kernel vs the
+   current kernel;
+2. a Table-III-style optimizer sweep through
+   :class:`repro.parallel.SweepRunner` with a fresh on-disk
+   :class:`~repro.parallel.ResultCache` — cold (every size simulated)
+   vs warm (every size a cache hit, zero simulations).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_perf.py [--scale 0.1] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from perf_kernel import run_kernel_benchmark  # noqa: E402
+
+from repro import __version__  # noqa: E402
+from repro.analysis.service_model import ScrubServiceModel  # noqa: E402
+from repro.core.optimizer import ScrubParameterOptimizer  # noqa: E402
+from repro.disk import hitachi_ultrastar_15k450  # noqa: E402
+from repro.parallel import ResultCache, SweepRunner  # noqa: E402
+from repro.traces import generate_trace  # noqa: E402
+from repro.traces.catalog import trace_idle_intervals  # noqa: E402
+
+GOALS_MS = [1.0, 2.0, 4.0]
+
+
+def run_cached_sweep() -> dict:
+    """A tab3-style optimizer sweep, cold vs warm cache."""
+    trace = generate_trace("MSRsrc11", duration=3600.0, seed=0)
+    _, durations = trace_idle_intervals("MSRsrc11", trace)
+    model = ScrubServiceModel.from_spec(hitachi_ultrastar_15k450())
+    optimizer = ScrubParameterOptimizer(
+        durations, len(trace), trace.duration, model
+    )
+
+    def sweep(runner):
+        return [
+            optimizer.optimize(goal / 1e3, runner=runner) for goal in GOALS_MS
+        ]
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cold_runner = SweepRunner(workers=0, cache=ResultCache(cache_dir))
+        start = time.process_time()
+        cold = sweep(cold_runner)
+        cold_s = time.process_time() - start
+
+        warm_runner = SweepRunner(workers=0, cache=ResultCache(cache_dir))
+        start = time.process_time()
+        warm = sweep(warm_runner)
+        warm_s = time.process_time() - start
+
+    assert cold == warm, "cache must reproduce the cold results exactly"
+    assert warm_runner.executed == 0, "warm sweep must execute zero tasks"
+    return {
+        "sweep": "optimizer sweep, MSRsrc11 1h trace, goals 1/2/4 ms",
+        "tasks": cold_runner.executed,
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(cold_s / warm_s, 1) if warm_s > 0 else float("inf"),
+        "warm_tasks_executed": warm_runner.executed,
+        "warm_cache_hits": warm_runner.cache_hits,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="kernel benchmark event-budget multiplier",
+    )
+    parser.add_argument("--reps", type=int, default=3)
+    parser.add_argument(
+        "--output", default=str(Path(__file__).resolve().parent.parent / "BENCH_PR1.json"),
+    )
+    args = parser.parse_args(argv)
+
+    print("== kernel microbenchmark ==")
+    kernel = run_kernel_benchmark(scale=args.scale, reps=args.reps)
+    for name, row in kernel["phases"].items():
+        print(
+            f"  {name:<22}{row['events']:>9,} ev  legacy {row['legacy_s']:.3f}s"
+            f"  new {row['new_s']:.3f}s  {row['speedup']:.2f}x"
+        )
+    print(f"  total: {kernel['total']['speedup']:.2f}x on {kernel['events']:,} events")
+
+    print("== cached optimizer sweep ==")
+    sweep = run_cached_sweep()
+    print(
+        f"  cold {sweep['cold_s']:.3f}s ({sweep['tasks']} tasks) -> "
+        f"warm {sweep['warm_s']:.3f}s ({sweep['warm_tasks_executed']} executed, "
+        f"{sweep['warm_cache_hits']} hits)"
+    )
+
+    record = {
+        "version": __version__,
+        "python": sys.version.split()[0],
+        "kernel": kernel,
+        "sweep_cache": sweep,
+    }
+    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if kernel["total"]["speedup"] < 2.0:
+        print("WARNING: kernel speedup below the 2x target", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from conftest import cached_idle, run_once, show
-from repro.analysis import evaluate_policy, sweep_policy
+from repro.analysis import sweep_policy_cls
 from repro.core.policies import (
     ARPolicy,
     ARWaitingPolicy,
@@ -35,7 +35,7 @@ def interpolate_utilisation(points, collision_rate):
     return float(np.interp(collision_rate, rates[order], utils[order]))
 
 
-def measure():
+def measure(runner):
     outcome = {}
     for name in DISKS:
         trace, durations = cached_idle(name, DURATION)
@@ -44,21 +44,21 @@ def measure():
         predictions = model.predict_series(durations)
         ar_thresholds = np.percentile(predictions, [10, 30, 50, 70, 90])
 
-        waiting = sweep_policy(
-            lambda t: WaitingPolicy(t), THRESHOLDS, durations, total
+        waiting = sweep_policy_cls(
+            WaitingPolicy, THRESHOLDS, durations, total, runner=runner
         )
-        lossless = sweep_policy(
-            lambda t: LosslessWaitingPolicy(t), THRESHOLDS, durations, total
+        lossless = sweep_policy_cls(
+            LosslessWaitingPolicy, THRESHOLDS, durations, total, runner=runner
         )
-        ar = sweep_policy(
-            lambda c: ARPolicy(c, model=model), ar_thresholds, durations, total
+        ar = sweep_policy_cls(
+            ARPolicy, ar_thresholds, durations, total,
+            policy_kwargs={"model": model}, runner=runner,
         )
         combined = {
-            f"AR({pct}th)+Waiting": sweep_policy(
-                lambda t, c=c: ARWaitingPolicy(t, c, model=model),
-                THRESHOLDS,
-                durations,
-                total,
+            f"AR({pct}th)+Waiting": sweep_policy_cls(
+                ARWaitingPolicy, THRESHOLDS, durations, total,
+                policy_kwargs={"ar_threshold": float(c), "model": model},
+                runner=runner,
             )
             for pct, c in zip(
                 (20, 40, 60, 80), np.percentile(predictions, [20, 40, 60, 80])
@@ -67,8 +67,8 @@ def measure():
         budgets = sorted(
             {p.collisions / len(durations) for p in waiting if p.collisions}
         )
-        oracle = sweep_policy(
-            lambda b: OraclePolicy(b), budgets, durations, total
+        oracle = sweep_policy_cls(
+            OraclePolicy, budgets, durations, total, runner=runner
         )
         outcome[name] = {
             "waiting": waiting,
@@ -80,8 +80,8 @@ def measure():
     return outcome
 
 
-def test_fig14_policy_comparison(benchmark):
-    outcome = run_once(benchmark, measure)
+def test_fig14_policy_comparison(benchmark, sweep_runner):
+    outcome = run_once(benchmark, lambda: measure(sweep_runner))
     info = {}
     for name, curves in outcome.items():
         rows = []

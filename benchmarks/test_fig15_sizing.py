@@ -24,20 +24,30 @@ THRESHOLDS = [0.016, 0.032, 0.064, 0.128, 0.256, 0.512, 1.024, 2.048, 4.096]
 GOALS_MS = [0.25, 0.5, 1.0, 1.5, 2.0, 3.0]
 
 
-def sweep_fixed(durations, size, service_model, total, span):
-    return [
-        simulate_fixed_waiting(durations, t, size, service_model, total, span)
-        for t in THRESHOLDS
-    ]
+def sweep_fixed(durations, size, service_model, total, span, runner):
+    return runner.map(
+        simulate_fixed_waiting,
+        [
+            dict(
+                durations=durations, threshold=t, request_bytes=size,
+                service_model=service_model, total_requests=total, span=span,
+            )
+            for t in THRESHOLDS
+        ],
+    )
 
 
-def sweep_adaptive(durations, schedule, service_model, total, span):
-    return [
-        simulate_adaptive_waiting(
-            durations, t, schedule, service_model, total, span
-        )
-        for t in THRESHOLDS
-    ]
+def sweep_adaptive(durations, schedule, service_model, total, span, runner):
+    return runner.map(
+        simulate_adaptive_waiting,
+        [
+            dict(
+                durations=durations, threshold=t, schedule=schedule,
+                service_model=service_model, total_requests=total, span=span,
+            )
+            for t in THRESHOLDS
+        ],
+    )
 
 
 def throughput_at_slowdown(results, goal):
@@ -50,37 +60,41 @@ def throughput_at_slowdown(results, goal):
     return float(np.interp(goal, slowdowns[order], throughputs[order]))
 
 
-def measure(service_model):
+def measure(service_model, runner):
     trace, durations = cached_idle(DISK, DURATION)
     total, span = len(trace), trace.duration
     cap = (service_model.max_size_for_slowdown(0.0504) // 65536) * 65536
 
     curves = {
-        "64KB fixed": sweep_fixed(durations, 65536, service_model, total, span),
+        "64KB fixed": sweep_fixed(
+            durations, 65536, service_model, total, span, runner
+        ),
         "4MB fixed": sweep_fixed(
-            durations, 4 * 1024 * 1024, service_model, total, span
+            durations, 4 * 1024 * 1024, service_model, total, span, runner
         ),
         "exponential (a=2)": sweep_adaptive(
             durations, ExponentialSchedule(65536, 2.0, cap),
-            service_model, total, span,
+            service_model, total, span, runner,
         ),
         "linear (a=2,b=64KB)": sweep_adaptive(
             durations, LinearSchedule(65536, 2.0, 65536, cap),
-            service_model, total, span,
+            service_model, total, span, runner,
         ),
     }
     optimizer = ScrubParameterOptimizer(durations, total, span, service_model)
     optimal = {}
     for goal_ms in GOALS_MS:
         try:
-            optimal[goal_ms] = optimizer.optimize(goal_ms / 1e3)
+            optimal[goal_ms] = optimizer.optimize(goal_ms / 1e3, runner=runner)
         except ValueError:
             optimal[goal_ms] = None
     return curves, optimal
 
 
-def test_fig15_request_sizing(benchmark, service_model):
-    curves, optimal = run_once(benchmark, lambda: measure(service_model))
+def test_fig15_request_sizing(benchmark, service_model, sweep_runner):
+    curves, optimal = run_once(
+        benchmark, lambda: measure(service_model, sweep_runner)
+    )
     rows = []
     table = {}
     for goal_ms in GOALS_MS:

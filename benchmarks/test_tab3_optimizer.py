@@ -31,14 +31,16 @@ DURATION = 4 * 3600.0
 REPLAY_WINDOW = 300.0
 
 
-def optimize_all(service_model):
+def optimize_all(service_model, runner=None):
     table = {}
     for name in DISKS:
         trace, durations = cached_idle(name, DURATION)
         optimizer = ScrubParameterOptimizer(
             durations, len(trace), trace.duration, service_model
         )
-        rows = [optimizer.optimize(goal / 1e3) for goal in GOALS_MS]
+        rows = [
+            optimizer.optimize(goal / 1e3, runner=runner) for goal in GOALS_MS
+        ]
         cfq = simulate_fixed_waiting(
             durations, 0.010, 65536, service_model, len(trace), trace.duration
         )
@@ -83,9 +85,9 @@ def replay_validation(ultrastar, service_model):
     }
 
 
-def test_tab3_waiting_vs_cfq(benchmark, ultrastar, service_model):
+def test_tab3_waiting_vs_cfq(benchmark, ultrastar, service_model, sweep_runner):
     def run():
-        table = optimize_all(service_model)
+        table = optimize_all(service_model, runner=sweep_runner)
         validation = replay_validation(ultrastar, service_model)
         return table, validation
 

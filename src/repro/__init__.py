@@ -42,7 +42,7 @@ from repro.sched import BlockDevice, CFQScheduler, NoopScheduler
 from repro.sim import Simulation
 from repro.traces import Trace, generate_trace
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ARPolicy",

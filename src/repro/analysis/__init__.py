@@ -16,7 +16,12 @@
   Table III).
 """
 
-from repro.analysis.collision import PolicyPoint, evaluate_policy, sweep_policy
+from repro.analysis.collision import (
+    PolicyPoint,
+    evaluate_policy,
+    sweep_policy,
+    sweep_policy_cls,
+)
 from repro.analysis.impact import ImpactResult, run_impact_experiment
 from repro.analysis.replay_cdf import ReplayResult, replay_with_scrubber
 from repro.analysis.service_model import ScrubServiceModel
@@ -40,4 +45,5 @@ __all__ = [
     "simulate_fixed_waiting",
     "standalone_scrub_throughput",
     "sweep_policy",
+    "sweep_policy_cls",
 ]

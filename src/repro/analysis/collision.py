@@ -101,3 +101,52 @@ def sweep_policy(
         )
         for parameter in parameters
     ]
+
+
+def _evaluate_task(
+    policy_cls: type,
+    parameter: float,
+    policy_kwargs: dict,
+    durations: np.ndarray,
+    total_requests: Optional[int],
+    label: str,
+) -> PolicyPoint:
+    """One sweep point as a picklable, cacheable task."""
+    policy = policy_cls(parameter, **policy_kwargs)
+    return evaluate_policy(
+        policy, durations, total_requests=total_requests, label=label
+    )
+
+
+def sweep_policy_cls(
+    policy_cls: type,
+    parameters: Iterable[float],
+    durations: np.ndarray,
+    total_requests: Optional[int] = None,
+    label_format: str = "{:g}",
+    policy_kwargs: Optional[dict] = None,
+    runner=None,
+) -> List[PolicyPoint]:
+    """Sweep ``policy_cls(p, **policy_kwargs)`` over ``parameters``.
+
+    The runner-friendly sibling of :func:`sweep_policy`: the policy is
+    named by class rather than closed over in a factory, so each point
+    is an independent picklable task a
+    :class:`~repro.parallel.SweepRunner` can distribute and cache.
+    Without a runner this is exactly :func:`sweep_policy`.
+    """
+    policy_kwargs = dict(policy_kwargs or {})
+    tasks = [
+        dict(
+            policy_cls=policy_cls,
+            parameter=float(parameter),
+            policy_kwargs=policy_kwargs,
+            durations=durations,
+            total_requests=total_requests,
+            label=label_format.format(parameter),
+        )
+        for parameter in parameters
+    ]
+    if runner is None:
+        return [_evaluate_task(**task) for task in tasks]
+    return runner.map(_evaluate_task, tasks)

@@ -117,6 +117,17 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def _build_runner(args):
+    """A SweepRunner from --workers/--cache/--cache-dir, or ``None``."""
+    from repro.parallel import ResultCache, SweepRunner
+
+    use_cache = args.cache or args.cache_dir
+    if not args.workers and not use_cache:
+        return None
+    cache = ResultCache(args.cache_dir or None) if use_cache else None
+    return SweepRunner(workers=args.workers, cache=cache)
+
+
 def cmd_optimize(args) -> int:
     from repro.analysis.service_model import ScrubServiceModel
     from repro.analysis.slowdown import simulate_fixed_waiting
@@ -137,10 +148,11 @@ def cmd_optimize(args) -> int:
         durations, len(trace), trace.duration, model,
         max_slowdown=args.max_slowdown_ms / 1e3,
     )
+    runner = _build_runner(args)
     print(f"{'goal':>8}  {'threshold':>10}  {'request':>8}  {'scrub':>10}")
     for goal_ms in args.goals_ms:
         try:
-            best = optimizer.optimize(goal_ms / 1e3)
+            best = optimizer.optimize(goal_ms / 1e3, runner=runner)
         except ValueError:
             print(f"{goal_ms:6.2f}ms  unattainable on this workload")
             continue
@@ -156,6 +168,11 @@ def cmd_optimize(args) -> int:
         f"CFQ-like baseline (10ms gate, 64KB): {cfq.throughput_mbps:.2f} MB/s "
         f"at {cfq.mean_slowdown * 1e3:.2f} ms mean slowdown"
     )
+    if runner is not None and runner.cache is not None:
+        print(
+            f"sweep cache: {runner.cache.hits} hits, "
+            f"{runner.cache.misses} misses ({runner.cache.root})"
+        )
     return 0
 
 
@@ -252,6 +269,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--goals-ms", type=float, nargs="+", default=[1.0, 2.0, 4.0]
     )
     optimize.add_argument("--max-slowdown-ms", type=float, default=50.4)
+    optimize.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes for the size sweep (0 = in-process serial)",
+    )
+    optimize.add_argument(
+        "--cache", action="store_true",
+        help="cache sweep results on disk ($REPRO_CACHE_DIR or ~/.cache/repro/sweeps)",
+    )
+    optimize.add_argument(
+        "--cache-dir", default=None,
+        help="cache directory (implies --cache)",
+    )
     optimize.set_defaults(func=cmd_optimize)
 
     throughput = sub.add_parser("throughput", help="standalone scrub throughput")

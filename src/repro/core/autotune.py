@@ -55,6 +55,7 @@ class AutoTuner:
         retune_interval: float = 600.0,
         window: float = 3600.0,
         min_samples: int = 200,
+        runner=None,
     ) -> None:
         if slowdown_goal <= 0:
             raise ValueError(f"slowdown_goal must be positive: {slowdown_goal}")
@@ -69,6 +70,10 @@ class AutoTuner:
         self.retune_interval = retune_interval
         self.window = window
         self.min_samples = min_samples
+        #: Optional :class:`~repro.parallel.SweepRunner` fanning each
+        #: retune's per-size threshold searches out (and caching them,
+        #: so a stable workload's repeat retunes are free).
+        self.runner = runner
 
         #: (end_time, duration) of observed idle intervals.
         self._idle: Deque[Tuple[float, float]] = deque()
@@ -146,7 +151,7 @@ class AutoTuner:
             service_model=self.service_model,
         )
         try:
-            best = optimizer.optimize(self.slowdown_goal)
+            best = optimizer.optimize(self.slowdown_goal, runner=self.runner)
         except ValueError:
             return None  # goal unattainable on this window: keep settings
         self.scrubber.threshold = best.threshold

@@ -20,12 +20,15 @@ under a second.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.service_model import ScrubServiceModel
 from repro.analysis.slowdown import SlowdownResult, simulate_fixed_waiting
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.parallel import SweepRunner
 
 #: The paper's maximum-tolerable-slowdown default (50.4 ms — the value
 #: that caps request sizes at 4 MB on its SAS drive).
@@ -114,35 +117,66 @@ class ScrubParameterOptimizer:
         )
 
     def best_threshold(
-        self, request_bytes: int, slowdown_goal: float, iterations: int = 40
+        self,
+        request_bytes: int,
+        slowdown_goal: float,
+        iterations: int = 40,
+        at_zero: Optional[SlowdownResult] = None,
     ) -> Optional[SlowdownResult]:
         """Smallest threshold meeting ``slowdown_goal`` for one size.
 
         Returns ``None`` when even the largest sensible threshold cannot
-        meet the goal (the size is too big for this workload).
+        meet the goal (the size is too big for this workload).  The
+        result returned is the simulation of the last *accepted*
+        bisection midpoint, so convergence costs exactly one simulation
+        per iteration — no final re-simulation of ``hi``.  Pass
+        ``at_zero`` (the threshold-0 result) when already computed.
         """
         if slowdown_goal <= 0:
             raise ValueError(f"slowdown_goal must be positive: {slowdown_goal}")
         lo, hi = 0.0, float(self.durations.max())
-        at_zero = self.simulate(0.0, request_bytes)
+        if at_zero is None:
+            at_zero = self.simulate(0.0, request_bytes)
         if at_zero.mean_slowdown <= slowdown_goal:
             return at_zero
-        if self.simulate(hi, request_bytes).mean_slowdown > slowdown_goal:
+        best = self.simulate(hi, request_bytes)
+        if best.mean_slowdown > slowdown_goal:
             return None
         for _ in range(iterations):
             mid = (lo + hi) / 2.0
-            if self.simulate(mid, request_bytes).mean_slowdown <= slowdown_goal:
-                hi = mid
+            result = self.simulate(mid, request_bytes)
+            if result.mean_slowdown <= slowdown_goal:
+                hi, best = mid, result
             else:
                 lo = mid
-        return self.simulate(hi, request_bytes)
+        return best
 
     # -- the headline call ----------------------------------------------------------
-    def optimize(self, slowdown_goal: float) -> OptimalParameters:
-        """Maximise scrub throughput subject to the mean-slowdown goal."""
+    def optimize(
+        self, slowdown_goal: float, runner: Optional["SweepRunner"] = None
+    ) -> OptimalParameters:
+        """Maximise scrub throughput subject to the mean-slowdown goal.
+
+        With a :class:`~repro.parallel.SweepRunner` the per-size
+        threshold searches fan out as independent (cacheable) tasks;
+        serially, sizes are explored best-upper-bound first and any
+        size whose threshold-0 throughput (its ceiling — throughput is
+        non-increasing in the threshold) cannot beat the incumbent is
+        pruned without a search.
+        """
+        if runner is not None:
+            return self._optimize_with_runner(slowdown_goal, runner)
         best: Optional[OptimalParameters] = None
-        for size in self.admissible_sizes():
-            result = self.best_threshold(size, slowdown_goal)
+        sizes = self.admissible_sizes()
+        # One vectorised sim per size: the threshold-0 upper bound.
+        ceiling = {size: self.simulate(0.0, size) for size in sizes}
+        ranked = sorted(sizes, key=lambda s: ceiling[s].throughput, reverse=True)
+        for size in ranked:
+            if best is not None and ceiling[size].throughput <= best.throughput:
+                continue  # dominated: cannot beat the incumbent at any threshold
+            result = self.best_threshold(
+                size, slowdown_goal, at_zero=ceiling[size]
+            )
             if result is None:
                 continue
             candidate = OptimalParameters(
@@ -159,3 +193,64 @@ class ScrubParameterOptimizer:
                 f"no parameters meet slowdown goal {slowdown_goal}s for this workload"
             )
         return best
+
+    def _optimize_with_runner(
+        self, slowdown_goal: float, runner: "SweepRunner"
+    ) -> OptimalParameters:
+        """Fan the per-size threshold searches across a sweep runner."""
+        sizes = list(self.admissible_sizes())
+        tasks = [
+            dict(
+                durations=self.durations,
+                total_requests=self.total_requests,
+                span=self.span,
+                service_model=self.service_model,
+                request_bytes=size,
+                slowdown_goal=slowdown_goal,
+                max_slowdown=self.max_slowdown,
+            )
+            for size in sizes
+        ]
+        results = runner.map(_best_threshold_task, tasks)
+        best: Optional[OptimalParameters] = None
+        for size, result in zip(sizes, results):
+            if result is None:
+                continue
+            candidate = OptimalParameters(
+                slowdown_goal=slowdown_goal,
+                threshold=result.threshold,
+                request_bytes=size,
+                throughput=result.throughput,
+                achieved_slowdown=result.mean_slowdown,
+            )
+            if best is None or candidate.throughput > best.throughput:
+                best = candidate
+        if best is None:
+            raise ValueError(
+                f"no parameters meet slowdown goal {slowdown_goal}s for this workload"
+            )
+        return best
+
+
+def _best_threshold_task(
+    durations: np.ndarray,
+    total_requests: int,
+    span: float,
+    service_model: ScrubServiceModel,
+    request_bytes: int,
+    slowdown_goal: float,
+    max_slowdown: float,
+    iterations: int = 40,
+) -> Optional[SlowdownResult]:
+    """One size's threshold search as a picklable, cacheable sweep task."""
+    optimizer = ScrubParameterOptimizer(
+        durations,
+        total_requests,
+        span,
+        service_model,
+        sizes=[request_bytes],
+        max_slowdown=max_slowdown,
+    )
+    return optimizer.best_threshold(
+        request_bytes, slowdown_goal, iterations=iterations
+    )

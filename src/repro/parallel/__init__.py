@@ -1,0 +1,32 @@
+"""Parallel sweep execution with persistent result caching.
+
+The repo's expensive artifacts are all *embarrassingly parallel*
+parameter sweeps — optimizer size grids, Fig. 14 policy matrices,
+Fig. 15 sizing curves.  This package provides:
+
+* :class:`SweepRunner` — fans tasks across a process pool with
+  deterministic per-task seeds; parallel output is bit-identical to
+  serial;
+* :class:`ResultCache` — on-disk memoisation keyed on (task function,
+  canonicalized parameters, library version), so re-running a sweep
+  with unchanged inputs never re-simulates;
+* :func:`derive_seed` / :func:`canonicalize` — the deterministic
+  building blocks, exported for tests and custom sweeps.
+"""
+
+from repro.parallel.cache import (
+    CACHE_DIR_ENV,
+    ResultCache,
+    canonicalize,
+    default_cache_dir,
+)
+from repro.parallel.runner import SweepRunner, derive_seed
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "ResultCache",
+    "SweepRunner",
+    "canonicalize",
+    "default_cache_dir",
+    "derive_seed",
+]

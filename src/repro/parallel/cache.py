@@ -1,0 +1,165 @@
+"""On-disk result cache for parameter sweeps.
+
+A sweep task is a pure function of its keyword arguments, so its result
+can be cached on disk and reused across processes and sessions.  The
+cache key is a SHA-256 over three components:
+
+* the task function's identity (``module.qualname``);
+* the *canonicalized* parameters (see :func:`canonicalize`);
+* the library version (``repro.__version__``), so any release — which
+  may change simulation semantics — invalidates every prior entry.
+
+Entries are pickle files under ``$REPRO_CACHE_DIR`` (default
+``~/.cache/repro/sweeps``), written atomically via a temp file and
+``os.replace`` so concurrent writers can never leave a torn entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Optional, Tuple, Union
+
+import numpy as np
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """The sweep cache location: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro/sweeps``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "sweeps"
+
+
+def canonicalize(obj: Any) -> Any:
+    """Reduce ``obj`` to a stable, repr-hashable canonical form.
+
+    The form must be identical for semantically identical parameters
+    regardless of construction order or container identity:
+
+    * dicts are sorted by key;
+    * floats use ``float.hex`` (exact, round-trip safe);
+    * NumPy arrays become ``(dtype, shape, sha256-of-bytes)`` so large
+      trace vectors hash in one pass without repr'ing elements;
+    * objects are ``(qualified class name, canonicalized attributes)``,
+      covering dataclasses like ``ScrubServiceModel`` and schedules.
+    """
+    if obj is None or isinstance(obj, (bool, int, str, bytes)):
+        return obj
+    if isinstance(obj, float):
+        return ("f", obj.hex())
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return ("f", float(obj).hex())
+    if isinstance(obj, (list, tuple)):
+        return ("seq", tuple(canonicalize(item) for item in obj))
+    if isinstance(obj, dict):
+        return (
+            "map",
+            tuple(sorted((str(k), canonicalize(v)) for k, v in obj.items())),
+        )
+    if isinstance(obj, np.ndarray):
+        data = np.ascontiguousarray(obj)
+        digest = hashlib.sha256(data.tobytes()).hexdigest()
+        return ("ndarray", str(data.dtype), data.shape, digest)
+    if isinstance(obj, (set, frozenset)):
+        return ("set", tuple(sorted(repr(canonicalize(item)) for item in obj)))
+    if callable(obj) and hasattr(obj, "__qualname__"):
+        return ("fn", getattr(obj, "__module__", ""), obj.__qualname__)
+    state = getattr(obj, "__dict__", None)
+    if state is not None:
+        cls = type(obj)
+        return ("obj", f"{cls.__module__}.{cls.__qualname__}", canonicalize(state))
+    return ("repr", repr(obj))
+
+
+class ResultCache:
+    """Persistent (task function, params, version) -> result store.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; default :func:`default_cache_dir`.
+    version:
+        Invalidation tag mixed into every key; defaults to the library
+        version, so upgrading the library abandons stale entries
+        in place (they are never read again).
+    """
+
+    def __init__(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        version: Optional[str] = None,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        if version is None:
+            from repro import __version__ as version
+        self.version = version
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, fn: Callable, params: dict) -> str:
+        """Cache key for calling ``fn(**params)`` under this version."""
+        identity = (
+            getattr(fn, "__module__", ""),
+            getattr(fn, "__qualname__", repr(fn)),
+            self.version,
+            canonicalize(params),
+        )
+        return hashlib.sha256(repr(identity).encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; unreadable entries count as misses.
+
+        Any load failure is a miss: besides the usual pickle errors, a
+        corrupted entry can make ``pickle.load`` raise nearly anything
+        (e.g. ``ValueError`` from a garbage opcode argument), and a
+        cache must degrade to recomputation rather than propagate that.
+        """
+        try:
+            with open(self._path(key), "rb") as fh:
+                value = pickle.load(fh)
+        except Exception:
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` atomically (temp file + ``os.replace``)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of entries removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for entry in self.root.glob("*/*.pkl"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -3,20 +3,33 @@
 :class:`Simulation` owns the virtual clock and the event queue.  Events
 are processed in ``(time, priority, sequence)`` order, so simultaneous
 events fire deterministically in scheduling order.
+
+The :meth:`Simulation.run` loop is the kernel's hot path: it inlines
+:meth:`Simulation.step` with the heap, the ``heappop`` function and the
+processed-sentinel bound to locals, so each event costs one heap pop,
+one sentinel store and the callback calls — no method dispatch and no
+allocation.  ``step()`` remains the single-event reference
+implementation (and the API for manual stepping); the two must stay
+semantically identical.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
+from functools import partial
 from typing import Any, Generator, Optional
 
-from repro.sim.events import Event, Timeout
+from repro.sim.events import _PROCESSED, NORMAL, URGENT, URGENT_BIAS, Event, Timeout
 from repro.sim.process import Process
 
-#: Default event priority.  Lower fires first among same-time events.
-NORMAL = 1
-#: Priority for urgent events (e.g. interrupts).
-URGENT = 0
+__all__ = [
+    "EmptySchedule",
+    "NORMAL",
+    "Simulation",
+    "StopSimulation",
+    "URGENT",
+]
 
 
 class StopSimulation(Exception):
@@ -54,11 +67,18 @@ class Simulation:
     3.0
     """
 
+    __slots__ = ("_now", "_queue", "_seq", "_active_process", "timeout")
+
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
         self._queue: list = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        #: Create an event firing ``delay`` time units from now:
+        #: ``sim.timeout(delay, value=None)``.  Bound as a C-level
+        #: ``partial`` so the hottest event factory skips one Python
+        #: frame per call.
+        self.timeout = partial(Timeout, self)
 
     @property
     def now(self) -> float:
@@ -75,10 +95,6 @@ class Simulation:
         """Create a new pending :class:`Event` bound to this simulation."""
         return Event(self)
 
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event firing ``delay`` time units from now."""
-        return Timeout(self, delay, value)
-
     def process(self, generator: Generator) -> Process:
         """Start a new process driving ``generator``."""
         return Process(self, generator)
@@ -87,12 +103,13 @@ class Simulation:
     def _enqueue(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
         """Insert a triggered event into the queue (engine-internal)."""
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        key = self._seq if priority else self._seq - URGENT_BIAS
+        heapq.heappush(self._queue, (self._now + delay, key, event))
 
     def schedule_interrupt(self, event: Event) -> None:
         """Queue ``event`` ahead of same-time normal events."""
         self._seq += 1
-        heapq.heappush(self._queue, (self._now, URGENT, self._seq, event))
+        heapq.heappush(self._queue, (self._now, self._seq - URGENT_BIAS, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -102,14 +119,19 @@ class Simulation:
         """Process exactly one event."""
         if not self._queue:
             raise EmptySchedule()
-        self._now, _, _, event = heapq.heappop(self._queue)
-        callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
+        self._now, _, event = heapq.heappop(self._queue)
+        callbacks = event._callbacks
+        event._callbacks = _PROCESSED
+        if callbacks is not None:
+            if callbacks.__class__ is list:
+                for callback in callbacks:
+                    callback(event)
+            else:
+                callbacks(event)
         if not event._ok and not event._defused:
-            raise event.value
+            raise event._value
 
-    def run(self, until: Optional[Any] = None) -> Any:
+    def run(self, until: Optional[Any] = None, gc_pause: bool = True) -> Any:
         """Run until ``until`` (a time, an :class:`Event`, or queue-empty).
 
         Parameters
@@ -118,11 +140,20 @@ class Simulation:
             ``None`` runs until no events remain.  A number runs until the
             clock reaches that time.  An :class:`Event` runs until that
             event is processed and returns its value.
+        gc_pause:
+            Pause the cyclic garbage collector while the event loop
+            runs (restored, with a collection, on exit).  Kernel
+            objects are acyclic once popped from the queue, so
+            reference counting reclaims them; the cycle collector only
+            rescans the pending-event heap over and over, which can
+            double the cost of allocation-heavy simulations.  Pass
+            ``False`` for workloads that create many cyclic structures
+            per event and must bound memory mid-run.
         """
         stop_value: Any = None
         if until is not None:
             if isinstance(until, Event):
-                if until.callbacks is None:
+                if until.processed:
                     # Already processed: nothing to run.
                     return until.value
                 until.callbacks.append(StopSimulation.callback)
@@ -135,17 +166,42 @@ class Simulation:
                 marker = Event(self)
                 marker._ok = True
                 marker._value = None
-                marker.callbacks.append(StopSimulation.callback)
+                marker._callbacks = StopSimulation.callback
                 self._seq += 1
-                heapq.heappush(self._queue, (deadline, URGENT, self._seq, marker))
+                heapq.heappush(
+                    self._queue, (deadline, self._seq - URGENT_BIAS, marker)
+                )
+        # Hot loop: step() inlined with everything bound to locals.
+        queue = self._queue
+        heappop = heapq.heappop
+        processed = _PROCESSED
+        unpause = gc_pause and gc.isenabled()
+        if unpause:
+            gc.disable()
         try:
-            while True:
-                self.step()
-        except StopSimulation as stop:
-            stop_value = stop.args[0] if stop.args else None
-        except EmptySchedule:
-            if isinstance(until, Event) and not until.triggered:
-                raise RuntimeError(
-                    "simulation ran out of events before the awaited event fired"
-                ) from None
+            try:
+                while queue:
+                    item = heappop(queue)
+                    self._now = item[0]
+                    event = item[2]
+                    callbacks = event._callbacks
+                    event._callbacks = processed
+                    if callbacks is not None:
+                        if callbacks.__class__ is list:
+                            for callback in callbacks:
+                                callback(event)
+                        else:
+                            callbacks(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+            except StopSimulation as stop:
+                return stop.args[0] if stop.args else None
+        finally:
+            if unpause:
+                gc.enable()
+                gc.collect(0)
+        if isinstance(until, Event) and not until.triggered:
+            raise RuntimeError(
+                "simulation ran out of events before the awaited event fired"
+            )
         return stop_value

@@ -4,14 +4,51 @@ An :class:`Event` is a one-shot occurrence with a value.  Processes wait
 on events by ``yield``\\ ing them; arbitrary callbacks may also be
 attached.  :class:`Timeout` is an event scheduled a fixed delay in the
 future.  :class:`AnyOf` / :class:`AllOf` compose events.
+
+Performance notes
+-----------------
+Events are the unit of allocation in every simulation, so this module
+is written for the interpreter rather than for elegance:
+
+* every event class declares ``__slots__`` (no per-instance dict);
+* the callback list is allocated lazily — the common fire-and-forget
+  :class:`Timeout` never observes its callbacks, so it never pays for
+  the list (``_callbacks`` is ``None`` until first use and the
+  ``_PROCESSED`` sentinel afterwards); a single waiter (a process
+  blocked on a timeout) is stored as the bare callable, so the
+  dominant wait pattern allocates no list either;
+* :class:`Timeout` schedules itself with one inlined ``heappush``
+  instead of going through ``succeed()``/``Simulation._enqueue``.
+
+The public surface (``event.callbacks`` as an appendable list while
+pending, ``None`` once processed) is unchanged; the ``callbacks``
+property maps the lazy representation back to that contract.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Iterable, List, Optional
 
 #: Sentinel for "event has no value yet".
 _PENDING = object()
+#: Sentinel replacing the callback list once the engine has fired it.
+_PROCESSED = object()
+
+#: Default event priority.  Lower fires first among same-time events.
+NORMAL = 1
+#: Priority for urgent events (e.g. interrupts).
+URGENT = 0
+
+#: Queue entries are ``(time, key, event)`` 3-tuples where ``key``
+#: folds (priority, sequence) into one integer: normal events use the
+#: bare sequence number, urgent events subtract this bias, so every
+#: urgent key sorts before every normal key at equal times while
+#: sequence order is preserved within each class.  One int comparison
+#: replaces two tuple elements on the heap hot path, and the common
+#: (normal) keys stay single-digit PyLongs — urgent events, which are
+#: rare, carry the multi-digit negative keys.
+URGENT_BIAS = 1 << 62
 
 
 class Event:
@@ -32,14 +69,40 @@ class Event:
     * *processed*: the engine has popped the event and run its callbacks.
     """
 
+    __slots__ = ("sim", "_callbacks", "_value", "_ok", "_defused")
+
     def __init__(self, sim: "Simulation") -> None:  # noqa: F821
         self.sim = sim
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._callbacks: Any = None  # lazily allocated list
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
         #: Set when a failure value was retrieved or handled, used to
         #: surface unhandled simulation-time exceptions.
         self._defused = False
+
+    # -- callback storage ------------------------------------------------
+    @property
+    def callbacks(self) -> Optional[List[Callable[["Event"], None]]]:
+        """The pending callback list, or ``None`` once processed.
+
+        The backing list is allocated on first access, so events whose
+        callbacks are never touched stay allocation-free.  A lone
+        internal waiter (stored as a bare callable) is promoted to a
+        list transparently.
+        """
+        cbs = self._callbacks
+        if cbs is None:
+            cbs = self._callbacks = []
+            return cbs
+        if cbs is _PROCESSED:
+            return None
+        if cbs.__class__ is not list:
+            cbs = self._callbacks = [cbs]
+        return cbs
+
+    @callbacks.setter
+    def callbacks(self, value: Optional[list]) -> None:
+        self._callbacks = _PROCESSED if value is None else value
 
     # -- state predicates ------------------------------------------------
     @property
@@ -50,7 +113,7 @@ class Event:
     @property
     def processed(self) -> bool:
         """Whether the engine has already run this event's callbacks."""
-        return self.callbacks is None
+        return self._callbacks is _PROCESSED
 
     @property
     def ok(self) -> bool:
@@ -69,7 +132,7 @@ class Event:
     # -- triggering ------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
@@ -80,7 +143,7 @@ class Event:
         """Trigger the event as failed with ``exception``."""
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
@@ -114,18 +177,28 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` time units after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulation", delay: float, value: Any = None) -> None:  # noqa: F821
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay!r}")
-        super().__init__(sim)
-        self.delay = float(delay)
-        self._ok = True
+        delay = float(delay)
+        # Inlined Event.__init__ + Simulation._enqueue: a timeout is born
+        # triggered, and this constructor dominates event churn.
+        self.sim = sim
+        self._callbacks = None
         self._value = value
-        sim._enqueue(self, delay=self.delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._queue, (sim._now + delay, seq, self))
 
 
 class _Condition(Event):
     """Base for :class:`AnyOf` / :class:`AllOf`."""
+
+    __slots__ = ("events", "_count")
 
     def __init__(self, sim: "Simulation", events: Iterable[Event]) -> None:  # noqa: F821
         super().__init__(sim)
@@ -135,11 +208,17 @@ class _Condition(Event):
                 raise ValueError("cannot mix events from different simulations")
         #: Number of constituent events already *processed* successfully.
         self._count = 0
+        check = self._check
         for event in self.events:
-            if event.processed:
-                self._check(event)
+            cbs = event._callbacks
+            if cbs is _PROCESSED:
+                check(event)
+            elif cbs is None:
+                event._callbacks = check
+            elif cbs.__class__ is list:
+                cbs.append(check)
             else:
-                event.callbacks.append(self._check)
+                event._callbacks = [cbs, check]
         if not self.triggered and self._satisfied():
             self.succeed(self._collect())
 
@@ -174,12 +253,16 @@ class AnyOf(_Condition):
     mirrors :class:`AllOf`'s behaviour for symmetry with SimPy).
     """
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
         return self._count >= 1 or not self.events
 
 
 class AllOf(_Condition):
     """Fires once every constituent event has been processed."""
+
+    __slots__ = ()
 
     def _satisfied(self) -> bool:
         return self._count >= len(self.events)

@@ -5,13 +5,25 @@ yields must be an :class:`~repro.sim.events.Event`; the process resumes
 when that event fires (receiving the event's value, or the failure
 exception thrown into the generator).  A process is itself an event that
 fires when the generator returns, so processes can wait on each other.
+
+The resume path is the hottest non-allocating code in the kernel:
+
+* the bound ``_resume`` method is created once (``_on_fire``) instead
+  of allocating a fresh bound method for every wait;
+* a process waiting alone on an event stores that callable directly in
+  the event's ``_callbacks`` slot — no list allocation per yield;
+* the target-detach bookkeeping (forgetting the event we were waiting
+  on when something else woke us) only runs after an actual
+  :meth:`Process.interrupt`, flagged by ``_interrupted``.
 """
 
 from __future__ import annotations
 
 from typing import Any, Generator
 
-from repro.sim.events import _PENDING, Event
+from heapq import heappush
+
+from repro.sim.events import _PENDING, _PROCESSED, Event, Timeout
 
 
 class Interrupt(Exception):
@@ -31,20 +43,38 @@ class Interrupt(Exception):
 class Process(Event):
     """An event representing a running generator-based process."""
 
+    __slots__ = ("_generator", "_target", "_interrupted", "_on_fire")
+
     def __init__(self, sim: "Simulation", generator: Generator) -> None:  # noqa: F821
-        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
-            raise TypeError(f"{generator!r} is not a generator")
-        super().__init__(sim)
+        try:
+            generator.send
+            generator.throw
+        except AttributeError:
+            raise TypeError(f"{generator!r} is not a generator") from None
+        # Inlined Event.__init__: process creation is hot in
+        # spawn-heavy workloads, so skip the extra frames.
+        self.sim = sim
+        self._callbacks = None
+        self._value = _PENDING
+        self._ok = None
+        self._defused = False
         self._generator = generator
-        #: The event this process is currently waiting on, if any.
-        self._target: Event = None
-        # Kick off the process via an immediately-scheduled init event.
-        init = Event(sim)
-        init._ok = True
+        #: Set by :meth:`interrupt`; gates the target-detach slow path.
+        self._interrupted = False
+        #: The bound resume callback, allocated once and reused.
+        self._on_fire = on_fire = self._resume
+        # Kick off the process via an immediately-scheduled init event
+        # (built with __new__ + inlined heappush — see Timeout).
+        init = Event.__new__(Event)
+        init.sim = sim
+        init._callbacks = on_fire
         init._value = None
-        init.callbacks.append(self._resume)
-        sim._enqueue(init)
-        self._target = init
+        init._ok = True
+        init._defused = False
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._queue, (sim._now, seq, init))
+        #: The event this process is currently waiting on, if any.
+        self._target: Event = init
 
     @property
     def is_alive(self) -> bool:
@@ -65,66 +95,87 @@ class Process(Event):
         event._ok = False
         event._value = Interrupt(cause)
         event._defused = True
-        event.callbacks.append(self._resume)
+        event._callbacks = self._on_fire
+        self._interrupted = True
         self.sim.schedule_interrupt(event)
 
     # -- engine callback ---------------------------------------------------
     def _resume(self, event: Event) -> None:
         """Advance the generator with the fired event's outcome."""
-        self.sim._active_process = self
-        # If we were interrupted while waiting, forget the original target
-        # (its eventual firing must no longer resume us).
-        if self._target is not None and self._target is not event:
-            if self._target.callbacks is not None:
-                try:
-                    self._target.callbacks.remove(self._resume)
-                except ValueError:
-                    pass
+        sim = self.sim
+        sim._active_process = self
+        if self._interrupted:
+            # We were interrupted while waiting: forget the original
+            # target (its eventual firing must no longer resume us).
+            self._interrupted = False
+            target = self._target
+            if target is not None and target is not event:
+                cbs = target._callbacks
+                if cbs is not None and cbs is not _PROCESSED:
+                    if cbs.__class__ is list:
+                        try:
+                            cbs.remove(self._on_fire)
+                        except ValueError:
+                            pass
+                    elif cbs is self._on_fire:
+                        target._callbacks = None
+        generator = self._generator
         while True:
             try:
-                if event.ok:
-                    target = self._generator.send(event.value)
+                if event._ok:
+                    target = generator.send(event._value)
                 else:
                     event._defused = True
-                    target = self._generator.throw(event.value)
+                    target = generator.throw(event._value)
             except StopIteration as stop:
+                # Inlined succeed(): a finishing process is by
+                # definition still pending, so skip the re-trigger guard.
                 self._target = None
-                self.sim._active_process = None
-                self.succeed(getattr(stop, "value", None))
+                sim._active_process = None
+                self._ok = True
+                self._value = getattr(stop, "value", None)
+                sim._seq = seq = sim._seq + 1
+                heappush(sim._queue, (sim._now, seq, self))
                 return
             except Interrupt as exc:
                 # The generator re-raised an interrupt it did not handle.
                 self._target = None
-                self.sim._active_process = None
+                sim._active_process = None
                 self._defused = True
                 self.fail(exc)
                 return
             except BaseException as exc:
                 self._target = None
-                self.sim._active_process = None
+                sim._active_process = None
                 self.fail(exc)
                 return
-            if not isinstance(target, Event):
+            if target.__class__ is not Timeout and not isinstance(target, Event):
                 exc = RuntimeError(
                     f"process yielded a non-event: {target!r}"
                 )
-                event = Event(self.sim)
+                event = Event(sim)
                 event._ok = False
                 event._value = exc
                 event._defused = True
                 continue
-            if target.sim is not self.sim:
+            if target.sim is not sim:
                 exc = RuntimeError("process yielded an event from another simulation")
-                event = Event(self.sim)
+                event = Event(sim)
                 event._ok = False
                 event._value = exc
                 event._defused = True
                 continue
-            if target.processed:
+            cbs = target._callbacks
+            if cbs is _PROCESSED:
                 # Already fired: resume immediately with its value.
                 event = target
                 continue
-            target.callbacks.append(self._resume)
+            if cbs is None:
+                target._callbacks = self._on_fire
+            elif cbs.__class__ is list:
+                cbs.append(self._on_fire)
+            else:
+                target._callbacks = [cbs, self._on_fire]
             self._target = target
             break
-        self.sim._active_process = None
+        sim._active_process = None

@@ -16,6 +16,8 @@ from repro.sim.events import Event
 class _Request(Event):
     """Event granted when the resource has a free slot."""
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.sim)
         self.resource = resource
@@ -87,6 +89,8 @@ class Resource:
 
 
 class _Get(Event):
+    __slots__ = ()
+
     def __init__(self, store: "Store") -> None:
         super().__init__(store.sim)
         store._getters.append(self)

@@ -39,13 +39,11 @@ def expected_remaining(durations: np.ndarray, taus: np.ndarray) -> np.ndarray:
     """
     ordered, suffix = _prepare(durations)
     taus = np.atleast_1d(np.asarray(taus, dtype=float))
+    firsts = np.searchsorted(ordered, taus, side="right")
+    counts = len(ordered) - firsts
     out = np.full(len(taus), np.nan)
-    for i, tau in enumerate(taus):
-        first = np.searchsorted(ordered, tau, side="right")
-        count = len(ordered) - first
-        if count == 0:
-            continue
-        out[i] = suffix[first] / count - tau
+    alive = counts > 0
+    out[alive] = suffix[firsts[alive]] / counts[alive] - taus[alive]
     return out
 
 
@@ -61,13 +59,20 @@ def percentile_remaining(
         raise ValueError(f"q must be a percentile in (0, 100): {q}")
     ordered, _ = _prepare(durations)
     taus = np.atleast_1d(np.asarray(taus, dtype=float))
+    firsts = np.searchsorted(ordered, taus, side="right")
+    counts = len(ordered) - firsts
     out = np.full(len(taus), np.nan)
-    for i, tau in enumerate(taus):
-        first = np.searchsorted(ordered, tau, side="right")
-        survivors = ordered[first:]
-        if len(survivors) == 0:
-            continue
-        out[i] = np.percentile(survivors, q) - tau
+    alive = counts > 0
+    # np.percentile's "linear" rule on the already-sorted survivor
+    # suffix: value = a[floor(pos)] + frac * (a[floor(pos)+1] - a[floor(pos)])
+    # with pos = q/100 * (n-1), evaluated for every tau at once.
+    pos = (q / 100.0) * (counts[alive] - 1)
+    lower = np.floor(pos).astype(np.intp)
+    frac = pos - lower
+    base = firsts[alive] + lower
+    upper = np.minimum(base + 1, len(ordered) - 1)
+    values = ordered[base] + frac * (ordered[upper] - ordered[base])
+    out[alive] = values - taus[alive]
     return np.maximum(out, 0.0, where=~np.isnan(out), out=out)
 
 
@@ -81,12 +86,9 @@ def usable_fraction(durations: np.ndarray, taus: np.ndarray) -> np.ndarray:
     if total <= 0:
         raise ValueError("total idle time is zero")
     taus = np.atleast_1d(np.asarray(taus, dtype=float))
-    out = np.zeros(len(taus))
-    for i, tau in enumerate(taus):
-        first = np.searchsorted(ordered, tau, side="right")
-        count = len(ordered) - first
-        out[i] = (suffix[first] - tau * count) / total
-    return out
+    firsts = np.searchsorted(ordered, taus, side="right")
+    counts = len(ordered) - firsts
+    return (suffix[firsts] - taus * counts) / total
 
 
 def fraction_intervals_longer(

@@ -55,11 +55,18 @@ def write_csv_trace(trace: Trace, path: Union[str, Path]) -> None:
         if trace.capacity_sectors is not None:
             fh.write(f"# capacity_sectors: {trace.capacity_sectors}\n")
         fh.write("time,lbn,sectors,op\n")
-        for i in range(len(trace)):
-            op = "W" if trace.is_write[i] else "R"
-            fh.write(
-                f"{trace.times[i]:.6f},{trace.lbns[i]},{trace.sectors[i]},{op}\n"
-            )
+        if len(trace) == 0:
+            return
+        # Format column-at-once, then emit one string: orders of
+        # magnitude fewer Python-level operations than a per-row loop.
+        columns = (
+            np.char.mod("%.6f", trace.times),
+            np.char.mod("%d", trace.lbns),
+            np.char.mod("%d", trace.sectors),
+            np.where(trace.is_write, "W", "R"),
+        )
+        fh.write("\n".join(map(",".join, zip(*columns))))
+        fh.write("\n")
 
 
 def read_csv_trace(path: Union[str, Path], name: Optional[str] = None) -> Trace:
@@ -123,12 +130,13 @@ def _parse_canonical(rows, header, meta) -> Trace:
     for required in ("time", "lbn", "sectors", "op"):
         if required not in index:
             raise ValueError(f"canonical trace missing column {required!r}")
-    times = np.array([float(r[index["time"]]) for r in rows])
-    lbns = np.array([int(r[index["lbn"]]) for r in rows], dtype=np.int64)
-    sectors = np.array([int(r[index["sectors"]]) for r in rows], dtype=np.int64)
-    is_write = np.array(
-        [r[index["op"]].strip().upper().startswith("W") for r in rows]
-    )
+    # One transpose, then NumPy converts each column in a single C pass.
+    columns = list(zip(*rows))
+    times = np.asarray(columns[index["time"]], dtype=float)
+    lbns = np.asarray(columns[index["lbn"]], dtype=np.int64)
+    sectors = np.asarray(columns[index["sectors"]], dtype=np.int64)
+    ops = np.char.upper(np.char.strip(np.asarray(columns[index["op"]])))
+    is_write = np.char.startswith(ops, "W")
     order = np.argsort(times, kind="stable")
     return Trace(
         times[order], lbns[order], sectors[order], is_write[order], **meta
@@ -137,13 +145,13 @@ def _parse_canonical(rows, header, meta) -> Trace:
 
 def _parse_msr(rows, meta) -> Trace:
     # timestamp,hostname,disknum,type,offset,size[,response]
-    times = np.array([int(r[0]) for r in rows], dtype=np.int64)
-    times = (times - times.min()) / _TICKS_PER_SECOND
-    is_write = np.array([r[3].strip().lower().startswith("w") for r in rows])
-    lbns = np.array([int(r[4]) // _SECTOR for r in rows], dtype=np.int64)
-    sectors = np.array(
-        [max(1, int(r[5]) // _SECTOR) for r in rows], dtype=np.int64
-    )
+    columns = list(zip(*rows))
+    ticks = np.asarray(columns[0], dtype=np.int64)
+    times = (ticks - ticks.min()) / _TICKS_PER_SECOND
+    ops = np.char.lower(np.char.strip(np.asarray(columns[3])))
+    is_write = np.char.startswith(ops, "w")
+    lbns = np.asarray(columns[4], dtype=np.int64) // _SECTOR
+    sectors = np.maximum(1, np.asarray(columns[5], dtype=np.int64) // _SECTOR)
     order = np.argsort(times, kind="stable")
     return Trace(
         times[order], lbns[order], sectors[order], is_write[order], **meta

@@ -1,0 +1,227 @@
+"""Tests for the parallel sweep runner and result cache.
+
+The central property: a sweep's results are a pure function of
+``(task function, parameters, base seed)`` — never of worker count,
+scheduling order, or cache state.  Serial, parallel, and warm-cache
+executions must therefore be bit-identical.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.service_model import ScrubServiceModel
+from repro.core.optimizer import ScrubParameterOptimizer
+from repro.parallel import ResultCache, SweepRunner, canonicalize, derive_seed
+
+
+def _noisy_dot(values, scale, seed):
+    """A task whose result exposes any seed or ordering divergence."""
+    rng = np.random.default_rng(seed)
+    noise = rng.standard_normal(len(values))
+    return float(np.dot(np.asarray(values), noise) * scale)
+
+
+def _square(x):
+    return x * x
+
+
+# -- determinism: serial vs parallel ----------------------------------------
+
+
+class TestSerialParallelIdentical:
+    @settings(max_examples=5, deadline=None)
+    @given(
+        param_sets=st.lists(
+            st.fixed_dictionaries(
+                {
+                    "values": st.lists(
+                        st.floats(-1e6, 1e6, allow_nan=False),
+                        min_size=1,
+                        max_size=8,
+                    ),
+                    "scale": st.floats(-100, 100, allow_nan=False),
+                }
+            ),
+            min_size=2,
+            max_size=6,
+        ),
+        base_seed=st.integers(0, 2**32 - 1),
+    )
+    def test_parallel_results_bit_identical_to_serial(
+        self, param_sets, base_seed
+    ):
+        serial = SweepRunner(workers=0, base_seed=base_seed).map(
+            _noisy_dot, param_sets, seed_param="seed"
+        )
+        parallel = SweepRunner(workers=2, base_seed=base_seed).map(
+            _noisy_dot, param_sets, seed_param="seed"
+        )
+        assert serial == parallel  # exact float equality, not approx
+
+    def test_results_keep_input_order(self):
+        params = [{"x": i} for i in range(7)]
+        assert SweepRunner(workers=2).map(_square, params) == [
+            i * i for i in range(7)
+        ]
+
+    def test_unpicklable_task_falls_back_to_serial(self):
+        double = lambda x: 2 * x  # noqa: E731 — deliberately unpicklable
+        runner = SweepRunner(workers=2)
+        assert runner.map(double, [{"x": 1}, {"x": 2}]) == [2, 4]
+        assert runner.executed == 2
+
+    def test_explicit_seed_wins_over_derived(self):
+        params = [{"values": [1.0, 2.0], "scale": 1.0, "seed": 7}]
+        (explicit,) = SweepRunner(workers=0, base_seed=99).map(
+            _noisy_dot, params, seed_param="seed"
+        )
+        assert explicit == _noisy_dot([1.0, 2.0], 1.0, 7)
+
+
+class TestDeriveSeed:
+    def test_deterministic_and_distinct(self):
+        seeds = [derive_seed(42, i) for i in range(100)]
+        assert seeds == [derive_seed(42, i) for i in range(100)]
+        assert len(set(seeds)) == 100
+        assert all(0 <= s < 2**63 for s in seeds)
+
+    def test_base_seed_changes_every_stream(self):
+        assert all(
+            derive_seed(1, i) != derive_seed(2, i) for i in range(20)
+        )
+
+
+# -- the cache ---------------------------------------------------------------
+
+
+class TestResultCache:
+    def test_hit_skips_execution(self, tmp_path):
+        params = [{"x": i} for i in range(5)]
+        cold = SweepRunner(workers=0, cache=ResultCache(tmp_path))
+        first = cold.map(_square, params)
+        assert cold.executed == 5
+
+        warm = SweepRunner(workers=0, cache=ResultCache(tmp_path))
+        second = warm.map(_square, params)
+        assert second == first
+        assert warm.executed == 0
+        assert warm.cache_hits == 5
+
+    def test_key_sensitive_to_params_function_and_version(self, tmp_path):
+        cache = ResultCache(tmp_path, version="1")
+        base = cache.key(_square, {"x": 1})
+        assert cache.key(_square, {"x": 2}) != base
+        assert cache.key(_noisy_dot, {"x": 1}) != base
+        assert ResultCache(tmp_path, version="2").key(_square, {"x": 1}) != base
+
+    def test_key_ignores_dict_order(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.key(_square, {"a": 1, "b": 2.0}) == cache.key(
+            _square, {"b": 2.0, "a": 1}
+        )
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            b"not a pickle",
+            # 'g' is the pickle GET opcode, whose int argument parse
+            # raises ValueError rather than UnpicklingError — any load
+            # failure must still be a miss.
+            b"garbage\n",
+            b"",
+        ],
+    )
+    def test_corrupt_entry_is_a_miss(self, tmp_path, garbage):
+        cache = ResultCache(tmp_path)
+        key = cache.key(_square, {"x": 3})
+        cache.put(key, 9)
+        path = cache._path(key)
+        path.write_bytes(garbage)
+        hit, _ = cache.get(key)
+        assert not hit
+        # A subsequent run recomputes and repairs the entry.
+        runner = SweepRunner(workers=0, cache=cache)
+        assert runner.map(_square, [{"x": 3}]) == [9]
+        hit, value = cache.get(key)
+        assert hit and value == 9
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(workers=0, cache=cache)
+        runner.map(_square, [{"x": 1}, {"x": 2}])
+        assert cache.clear() == 2
+        rerun = SweepRunner(workers=0, cache=ResultCache(tmp_path))
+        rerun.map(_square, [{"x": 1}])
+        assert rerun.executed == 1
+
+
+class TestCanonicalize:
+    def test_arrays_hash_by_content(self):
+        a = np.arange(4, dtype=float)
+        assert canonicalize(a) == canonicalize(a.copy())
+        assert canonicalize(a) != canonicalize(a + 1)
+        assert canonicalize(a) != canonicalize(a.astype(np.int64))
+
+    def test_objects_canonicalize_by_type_and_attributes(self):
+        m1 = ScrubServiceModel([65536, 4 << 20], [0.004, 0.05])
+        m2 = ScrubServiceModel([65536, 4 << 20], [0.004, 0.05])
+        m3 = ScrubServiceModel([65536, 4 << 20], [0.004, 0.06])
+        assert canonicalize(m1) == canonicalize(m2)
+        assert canonicalize(m1) != canonicalize(m3)
+
+    def test_float_int_distinction(self):
+        assert canonicalize({"x": 1}) != canonicalize({"x": 1.0})
+
+
+# -- the acceptance scenario: warm optimizer sweep, zero simulations ---------
+
+
+@pytest.fixture
+def optimizer():
+    rng = np.random.default_rng(7)
+    durations = rng.exponential(0.05, 2000)
+    model = ScrubServiceModel([65536, 4 << 20], [0.004, 0.05])
+    return ScrubParameterOptimizer(
+        durations,
+        total_requests=4000,
+        span=100.0,
+        service_model=model,
+        sizes=[k * 65536 for k in range(1, 13)],
+    )
+
+
+class TestOptimizerSweepCaching:
+    def test_warm_rerun_performs_zero_simulation_calls(
+        self, tmp_path, optimizer, monkeypatch
+    ):
+        goals = [0.001, 0.002]
+        cold_runner = SweepRunner(workers=0, cache=ResultCache(tmp_path))
+        cold = [optimizer.optimize(g, runner=cold_runner) for g in goals]
+        assert cold_runner.executed > 0
+
+        import repro.core.optimizer as optimizer_module
+
+        calls = {"n": 0}
+        real = optimizer_module.simulate_fixed_waiting
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(
+            optimizer_module, "simulate_fixed_waiting", counting
+        )
+        warm_runner = SweepRunner(workers=0, cache=ResultCache(tmp_path))
+        warm = [optimizer.optimize(g, runner=warm_runner) for g in goals]
+
+        assert warm == cold
+        assert warm_runner.executed == 0
+        assert calls["n"] == 0  # zero simulation calls on the warm rerun
+
+    def test_runner_path_matches_serial_optimize(self, tmp_path, optimizer):
+        runner = SweepRunner(workers=0, cache=ResultCache(tmp_path))
+        assert optimizer.optimize(0.001, runner=runner) == optimizer.optimize(
+            0.001
+        )
