@@ -1,0 +1,28 @@
+# Developer entry points.  The container bakes in python + numpy/scipy/
+# pytest/pytest-benchmark/hypothesis; nothing here installs anything.
+
+PYTHON ?= python
+TIMEOUT ?= 120
+
+.PHONY: tier1 smoke bench check
+
+# The ROADMAP tier-1 verify, with a per-test wall-clock limit so a
+# wedged test fails fast instead of hanging CI (tools/pytest_timeout_lite).
+tier1:
+	PYTHONPATH=src:. $(PYTHON) -m pytest -x -q \
+		-p tools.pytest_timeout_lite --lite-timeout $(TIMEOUT)
+
+# End-to-end smoke of the fault-injection lifecycle on a tiny fault
+# plan: the detect CLI across all three policies, then the detection
+# experiment benchmark (ATA cache-bug A/B + serial/parallel identity).
+smoke:
+	PYTHONPATH=src $(PYTHON) -m repro detect --horizon 1.5 --cylinders 30
+	PYTHONPATH=src:. $(PYTHON) -m pytest -q benchmarks/test_fig_detection.py \
+		-p tools.pytest_timeout_lite --lite-timeout $(TIMEOUT) \
+		-p no:cacheprovider --override-ini testpaths=benchmarks
+
+# Full experiment benchmarks (slow; regenerates the paper's figures).
+bench:
+	PYTHONPATH=src $(PYTHON) -m pytest -q benchmarks --override-ini testpaths=benchmarks
+
+check: tier1 smoke

@@ -38,22 +38,34 @@ from repro.core.policies import (
     WaitingScrubber,
 )
 from repro.disk import Drive, hitachi_ultrastar_15k450
+from repro.faults import (
+    BernoulliFaultModel,
+    ClusteredBurstFaultModel,
+    FaultPlan,
+    MediaFaults,
+    RemediationPolicy,
+)
 from repro.sched import BlockDevice, CFQScheduler, NoopScheduler
 from repro.sim import Simulation
 from repro.traces import Trace, generate_trace
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ARPolicy",
     "ARWaitingPolicy",
+    "BernoulliFaultModel",
     "BlockDevice",
     "CFQScheduler",
+    "ClusteredBurstFaultModel",
     "Drive",
+    "FaultPlan",
     "LosslessWaitingPolicy",
+    "MediaFaults",
     "NoopScheduler",
     "OptimalParameters",
     "OraclePolicy",
+    "RemediationPolicy",
     "ScrubParameterOptimizer",
     "Scrubber",
     "SequentialScrub",

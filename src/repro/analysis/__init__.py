@@ -11,6 +11,9 @@
   response-time CDFs (Fig. 7);
 * :mod:`repro.analysis.collision` — policy evaluation on idle interval
   samples: utilisation vs collision rate (Fig. 14);
+* :mod:`repro.analysis.detection` — latent-sector-error detection and
+  remediation under injected fault plans: time-to-detection, scrub vs
+  foreground attribution, errors missed to the ATA cache bug;
 * :mod:`repro.analysis.slowdown` — Waiting-policy slowdown/throughput
   simulation with fixed and adaptive request sizes (Fig. 15,
   Table III).
@@ -21,6 +24,14 @@ from repro.analysis.collision import (
     evaluate_policy,
     sweep_policy,
     sweep_policy_cls,
+)
+from repro.analysis.detection import (
+    DetectionMetrics,
+    DetectionResult,
+    compute_detection_metrics,
+    detection_sweep_task,
+    run_detection_experiment,
+    shrunk_spec,
 )
 from repro.analysis.impact import ImpactResult, run_impact_experiment
 from repro.analysis.replay_cdf import ReplayResult, replay_with_scrubber
@@ -33,14 +44,20 @@ from repro.analysis.slowdown import (
 from repro.analysis.throughput import standalone_scrub_throughput
 
 __all__ = [
+    "DetectionMetrics",
+    "DetectionResult",
     "ImpactResult",
     "PolicyPoint",
     "ReplayResult",
     "ScrubServiceModel",
     "SlowdownResult",
+    "compute_detection_metrics",
+    "detection_sweep_task",
     "evaluate_policy",
     "replay_with_scrubber",
+    "run_detection_experiment",
     "run_impact_experiment",
+    "shrunk_spec",
     "simulate_adaptive_waiting",
     "simulate_fixed_waiting",
     "standalone_scrub_throughput",

@@ -1,0 +1,308 @@
+"""Detection and remediation of injected latent sector errors.
+
+The robustness companion to the paper's performance experiments: given
+a seeded fault plan (:mod:`repro.faults`), how quickly does each scrub
+policy *find* the errors, who finds them (scrubber vs foreground I/O),
+and how many are silently missed because the ATA ``VERIFY`` firmware
+bug served the scrub from the drive cache (paper Fig. 1)?
+
+:func:`run_detection_experiment` builds the full stack — drive with
+installed faults, scheduler, optional foreground reader, one of the
+three scrub policies (Sequential, Staggered, Waiting) with the
+split/remap/verify lifecycle enabled — runs it for a horizon, and
+distils the :class:`~repro.faults.log.ErrorLog` into a
+:class:`DetectionMetrics`.
+
+:func:`detection_sweep_task` is the module-level (picklable) wrapper
+for :class:`~repro.parallel.runner.SweepRunner` fan-out: the fault
+plan is rebuilt inside the worker as a pure function of
+``(model, model_params, total_sectors, horizon, seed)``, so serial and
+parallel sweeps are bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.policies.device import WaitingScrubber
+from repro.core.scrubber import ScrubAlgorithm, Scrubber
+from repro.core.sequential import SequentialScrub
+from repro.core.staggered import StaggeredScrub
+from repro.disk.drive import Drive
+from repro.disk.models import PRESETS, DriveSpec
+from repro.faults import (
+    ErrorEventKind,
+    ErrorLog,
+    MediaFaults,
+    RemediationPolicy,
+    build_model,
+)
+from repro.sched.cfq import CFQScheduler
+from repro.sched.device import BlockDevice
+from repro.sched.noop import NoopScheduler
+from repro.sched.request import PriorityClass
+from repro.sim import RandomStreams, Simulation
+from repro.workloads.synthetic import RandomReader
+
+#: Scrub policies the experiment understands.
+ALGORITHMS = ("sequential", "staggered", "waiting")
+
+
+def shrunk_spec(spec: DriveSpec, cylinders: int = 50) -> DriveSpec:
+    """A tiny-geometry copy of ``spec`` for fast fault experiments.
+
+    Capacity drops to a few MB so full scrub passes take fractions of
+    a simulated second, while interface semantics (SCSI vs ATA
+    ``VERIFY``, the cache bug flag) and per-command overheads are
+    preserved — which is all the detection experiments measure.
+    """
+    if cylinders <= 0:
+        raise ValueError(f"cylinders must be positive: {cylinders}")
+    return spec.with_overrides(
+        cylinders=cylinders,
+        heads=2,
+        outer_spt=64,
+        inner_spt=64,
+        num_zones=1,
+    )
+
+
+@dataclass(frozen=True)
+class DetectionMetrics:
+    """One run's error lifecycle, distilled from the :class:`ErrorLog`."""
+
+    horizon: float
+    #: Errors whose onset fell inside the horizon.
+    injected: int
+    #: Distinct bad LBNs that produced at least one ``MEDIUM_ERROR``.
+    detected: int
+    #: ...first detected by a scrub ``VERIFY``.
+    scrub_detected: int
+    #: ...first detected the hard way, by foreground I/O.
+    foreground_detected: int
+    #: Commands over bad sectors silently served from the cache.
+    cache_mask_events: int
+    #: Distinct bad LBNs that were cache-masked and *never* detected.
+    missed_due_to_cache: int
+    #: Bad sectors moved to the spare pool.
+    remapped: int
+    #: Remapped sectors with a clean post-remap verify.
+    verified_after_remap: int
+    #: Mean onset-to-first-detection delay (``None`` if nothing detected).
+    mean_time_to_detection: Optional[float]
+    #: Every scrub-detected sector ended remapped and verified.
+    lifecycle_complete: bool
+
+    @property
+    def detection_ratio(self) -> float:
+        """Fraction of injected errors detected (1.0 when none injected)."""
+        return self.detected / self.injected if self.injected else 1.0
+
+    @property
+    def scrub_share(self) -> float:
+        """Fraction of detections owed to the scrubber."""
+        return self.scrub_detected / self.detected if self.detected else 0.0
+
+
+def compute_detection_metrics(
+    log: ErrorLog, horizon: float, scrub_prefix: str = "scrubber"
+) -> DetectionMetrics:
+    """Distil an :class:`ErrorLog` into :class:`DetectionMetrics`."""
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive: {horizon}")
+    injected = len(log.onsets)
+    detected = len(log.detections)
+    scrub_detected = len(log.detected_by(scrub_prefix))
+    masked = log.by_kind(ErrorEventKind.CACHE_MASKED)
+    missed = {r.lbn for r in masked} - set(log.detections)
+    latencies = [
+        log.detection_latency(lbn)
+        for lbn in log.detections
+        if log.detection_latency(lbn) is not None
+    ]
+    verified = sum(1 for ok in log.verified.values() if ok)
+    return DetectionMetrics(
+        horizon=horizon,
+        injected=injected,
+        detected=detected,
+        scrub_detected=scrub_detected,
+        foreground_detected=detected - scrub_detected,
+        cache_mask_events=len(masked),
+        missed_due_to_cache=len(missed),
+        remapped=len(log.remapped),
+        verified_after_remap=verified,
+        mean_time_to_detection=(
+            sum(latencies) / len(latencies) if latencies else None
+        ),
+        lifecycle_complete=log.scrub_lifecycle_complete(scrub_prefix),
+    )
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """One detection experiment: configuration echo plus outcomes."""
+
+    drive: str
+    algorithm: str
+    cache_enabled: bool
+    seed: int
+    metrics: DetectionMetrics
+    #: Top-level scrub verifies the drive failed (detections by scrub).
+    errors_seen: int
+    #: Sectors the scrubber localised, remapped and re-verified.
+    sectors_remapped: int
+    bytes_scrubbed: int
+    foreground_bytes: int
+
+
+def _build_algorithm(name: str, regions: int) -> ScrubAlgorithm:
+    if name in ("sequential", "waiting"):
+        return SequentialScrub()
+    if name == "staggered":
+        return StaggeredScrub(regions=regions)
+    raise ValueError(
+        f"unknown scrub algorithm {name!r}; choose from {ALGORITHMS}"
+    )
+
+
+def run_detection_experiment(
+    spec: DriveSpec,
+    algorithm: str = "sequential",
+    regions: int = 16,
+    model: str = "bursts",
+    model_params: Optional[dict] = None,
+    horizon: float = 5.0,
+    seed: int = 0,
+    cache_enabled: bool = True,
+    request_bytes: int = 64 * 1024,
+    foreground: bool = False,
+    think_mean: float = 0.05,
+    threshold: float = 0.01,
+    remediation: Optional[RemediationPolicy] = None,
+    remediate: bool = True,
+    spare_sectors: int = 4096,
+    idle_gate: float = 0.010,
+) -> DetectionResult:
+    """Run one scrub policy against a seeded fault plan for ``horizon`` s.
+
+    Parameters
+    ----------
+    algorithm:
+        ``"sequential"`` / ``"staggered"`` run the framework
+        :class:`Scrubber` under CFQ; ``"waiting"`` runs the
+        self-scheduling :class:`WaitingScrubber` (idle ``threshold``)
+        under NOOP, as in the paper's kernel integration.
+    model / model_params / seed:
+        Fault plan inputs (see :mod:`repro.faults.plan`); the plan is a
+        pure function of these plus the drive size and horizon.
+    foreground:
+        Add a closed-loop :class:`RandomReader`, so errors can also be
+        found "the hard way" and detection sources compete.
+    remediate:
+        Enable the split/remap/verify lifecycle (with ``remediation``
+        overriding the default :class:`RemediationPolicy`).
+    """
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive: {horizon}")
+    plan = build_model(model, **(model_params or {})).generate(
+        Drive(spec, cache_enabled=False).total_sectors, horizon, seed
+    )
+    sim = Simulation()
+    drive = Drive(spec, cache_enabled=cache_enabled)
+    faults = MediaFaults(plan, spare_sectors=spare_sectors)
+    drive.install_faults(faults)
+    scheduler = (
+        NoopScheduler() if algorithm == "waiting" else CFQScheduler(idle_gate=idle_gate)
+    )
+    device = BlockDevice(sim, drive, scheduler)
+
+    if foreground:
+        streams = RandomStreams(seed=seed)
+        RandomReader(
+            sim, device, streams.get("foreground"), think_mean=think_mean
+        ).start()
+
+    policy = remediation if remediation is not None else (
+        RemediationPolicy() if remediate else None
+    )
+    if algorithm == "waiting":
+        scrubber = WaitingScrubber(
+            sim,
+            device,
+            _build_algorithm(algorithm, regions),
+            threshold=threshold,
+            request_bytes=request_bytes,
+            remediation=policy,
+        )
+    else:
+        scrubber = Scrubber(
+            sim,
+            device,
+            _build_algorithm(algorithm, regions),
+            request_bytes=request_bytes,
+            priority=PriorityClass.IDLE,
+            remediation=policy,
+        )
+    process = scrubber.start()
+
+    sim.run(until=horizon)
+    if process.is_alive:
+        # Drain: no new extents, but the in-flight verify and any
+        # remediation it triggered run to completion, so no detected
+        # error is abandoned mid-lifecycle by the horizon cut-off.
+        scrubber.request_stop()
+        sim.run(until=process)
+    faults.finalize(horizon)
+    return DetectionResult(
+        drive=spec.name,
+        algorithm=algorithm,
+        cache_enabled=cache_enabled,
+        seed=seed,
+        metrics=compute_detection_metrics(faults.log, horizon),
+        errors_seen=scrubber.errors_seen,
+        sectors_remapped=scrubber.sectors_remapped,
+        bytes_scrubbed=scrubber.bytes_scrubbed,
+        foreground_bytes=device.log.bytes_completed("foreground"),
+    )
+
+
+def detection_sweep_task(
+    drive: str = "ultrastar",
+    cylinders: int = 50,
+    algorithm: str = "sequential",
+    regions: int = 16,
+    model: str = "bursts",
+    model_params: Optional[dict] = None,
+    horizon: float = 5.0,
+    seed: int = 0,
+    cache_enabled: bool = True,
+    cache_bug: Optional[bool] = None,
+    foreground: bool = False,
+    request_bytes: int = 64 * 1024,
+) -> DetectionResult:
+    """Picklable sweep task: one detection run on a shrunk preset drive.
+
+    ``cache_bug`` forces the ATA ``VERIFY``-from-cache firmware bug on
+    or off while keeping the geometry (and therefore the scrub
+    schedule) identical — the clean A/B for the Fig. 1 payoff.
+    """
+    if drive not in PRESETS:
+        raise ValueError(
+            f"unknown drive {drive!r}; choose from {sorted(PRESETS)}"
+        )
+    spec = shrunk_spec(PRESETS[drive](), cylinders=cylinders)
+    if cache_bug is not None:
+        spec = spec.with_overrides(ata_verify_cache_bug=cache_bug)
+    return run_detection_experiment(
+        spec,
+        algorithm=algorithm,
+        regions=regions,
+        model=model,
+        model_params=model_params,
+        horizon=horizon,
+        seed=seed,
+        cache_enabled=cache_enabled,
+        foreground=foreground,
+        request_bytes=request_bytes,
+    )

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the library's main workflows:
+Six commands cover the library's main workflows:
 
 * ``generate``  — write a synthetic catalog trace to CSV;
 * ``analyze``   — Section V-A statistics for a trace (idle stats,
@@ -8,7 +8,9 @@ Five commands cover the library's main workflows:
 * ``optimize``  — Table III: best (wait threshold, request size) for
   slowdown goals on a given drive;
 * ``throughput`` — standalone scrub throughput for an algorithm/size;
-* ``mlet``      — MLET by scrub order under bursty LSEs.
+* ``mlet``      — MLET by scrub order under bursty LSEs;
+* ``detect``    — error detection/remediation under injected LSEs,
+  with and without the ATA ``VERIFY`` cache bug.
 """
 
 from __future__ import annotations
@@ -233,6 +235,64 @@ def cmd_mlet(args) -> int:
     return 0
 
 
+def cmd_detect(args) -> int:
+    from repro.analysis.detection import ALGORITHMS, detection_sweep_task
+    from repro.parallel import SweepRunner
+
+    model_params = {}
+    if args.model == "bernoulli":
+        model_params["per_sector_probability"] = args.error_rate
+    else:
+        model_params["inter_burst_mean"] = args.burst_mean
+        model_params["in_burst_time_mean"] = args.burst_mean / 50.0
+    for algorithm in args.algorithms:
+        if algorithm not in ALGORITHMS:
+            raise SystemExit(
+                f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
+            )
+    param_sets = [
+        dict(
+            drive=args.drive,
+            cylinders=args.cylinders,
+            algorithm=algorithm,
+            regions=args.regions,
+            model=args.model,
+            model_params=model_params,
+            horizon=args.horizon,
+            seed=args.seed,
+            cache_enabled=not args.no_cache,
+            cache_bug=bug,
+            foreground=args.foreground,
+        )
+        for algorithm in args.algorithms
+        for bug in (False, True)
+    ]
+    runner = _build_runner(args) or SweepRunner(workers=0)
+    results = runner.map(detection_sweep_task, param_sets)
+    print(f"{_drive_spec(args.drive).name} (shrunk to {args.cylinders} cylinders), "
+          f"model={args.model}, horizon={args.horizon}s, seed={args.seed}")
+    print(
+        f"{'policy':<11}{'verify':>8}{'inject':>8}{'detect':>8}{'scrub':>7}"
+        f"{'fg':>5}{'masked':>8}{'missed':>8}{'remap':>7}{'MTTD':>9}  lifecycle"
+    )
+    for params, result in zip(param_sets, results):
+        m = result.metrics
+        mttd = (
+            f"{m.mean_time_to_detection:8.2f}s"
+            if m.mean_time_to_detection is not None
+            else "      n/a"
+        )
+        verify = "cached" if params["cache_bug"] else "media"
+        lifecycle = "complete" if m.lifecycle_complete else "INCOMPLETE"
+        print(
+            f"{result.algorithm:<11}{verify:>8}{m.injected:>8}{m.detected:>8}"
+            f"{m.scrub_detected:>7}{m.foreground_detected:>5}"
+            f"{m.cache_mask_events:>8}{m.missed_due_to_cache:>8}"
+            f"{m.remapped:>7}{mttd}  {lifecycle}"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -293,6 +353,53 @@ def build_parser() -> argparse.ArgumentParser:
     throughput.add_argument("--delay-ms", type=float, default=0.0)
     throughput.add_argument("--horizon", type=float, default=10.0)
     throughput.set_defaults(func=cmd_throughput)
+
+    detect = sub.add_parser(
+        "detect", help="LSE detection/remediation lifecycle per scrub policy"
+    )
+    detect.add_argument("--drive", default="caviar")
+    detect.add_argument(
+        "--cylinders", type=int, default=50,
+        help="shrink the drive to this many cylinders for a fast run",
+    )
+    detect.add_argument(
+        "--algorithms", nargs="+",
+        default=["sequential", "staggered", "waiting"],
+    )
+    detect.add_argument("--regions", type=int, default=16)
+    detect.add_argument(
+        "--model", choices=("bernoulli", "bursts"), default="bursts"
+    )
+    detect.add_argument(
+        "--error-rate", type=float, default=1e-3,
+        help="bernoulli per-sector error probability",
+    )
+    detect.add_argument(
+        "--burst-mean", type=float, default=0.5,
+        help="mean seconds between error bursts (bursts model)",
+    )
+    detect.add_argument("--horizon", type=float, default=5.0)
+    detect.add_argument("--seed", type=int, default=3)
+    detect.add_argument(
+        "--no-drive-cache", dest="no_cache", action="store_true",
+        help="disable the drive cache (suppresses the ATA bug entirely)",
+    )
+    detect.add_argument(
+        "--foreground", action="store_true",
+        help="run a closed-loop random reader alongside the scrubber",
+    )
+    detect.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes for the sweep (0 = in-process serial)",
+    )
+    detect.add_argument(
+        "--cache", action="store_true",
+        help="cache sweep results on disk ($REPRO_CACHE_DIR or ~/.cache/repro/sweeps)",
+    )
+    detect.add_argument(
+        "--cache-dir", default=None, help="cache directory (implies --cache)"
+    )
+    detect.set_defaults(func=cmd_detect)
 
     mlet = sub.add_parser("mlet", help="MLET by scrub order under bursty LSEs")
     mlet.add_argument("--drive", default="ultrastar")

@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.core.scrubber import ScrubAlgorithm, Scrubber
 from repro.core.sequential import SequentialScrub
+from repro.faults.remediation import RemediationPolicy
 from repro.sched.device import BlockDevice
 from repro.sched.request import PriorityClass
 from repro.sim import Simulation
@@ -77,8 +78,14 @@ class ScrubManager:
         priority: PriorityClass = PriorityClass.IDLE,
         delay: float = 0.0,
         algorithm: Optional[ScrubAlgorithm] = None,
+        remediation: Optional[RemediationPolicy] = None,
     ) -> Scrubber:
-        """Wake the device's scrubber with the given parameters."""
+        """Wake the device's scrubber with the given parameters.
+
+        ``remediation`` enables the full error lifecycle on this device:
+        scrub errors are localised by splitting, remapped to the spare
+        pool, and verified after the remap.
+        """
         slot = self._slot(name)
         if slot.scrubber is not None and slot.scrubber._process is not None \
                 and slot.scrubber._process.is_alive:
@@ -91,6 +98,7 @@ class ScrubManager:
             priority=priority,
             delay=delay,
             source=f"scrubber:{name}",
+            remediation=remediation,
         )
         scrubber.start()
         slot.scrubber = scrubber
@@ -128,6 +136,27 @@ class ScrubManager:
             for slot in self._slots.values()
             if slot.scrubber is not None
         )
+
+    def total_errors_seen(self) -> int:
+        """Failed scrub verifies across every managed device."""
+        return sum(
+            slot.scrubber.errors_seen
+            for slot in self._slots.values()
+            if slot.scrubber is not None
+        )
+
+    def total_sectors_remapped(self) -> int:
+        """Bad sectors remapped-and-verified across every managed device."""
+        return sum(
+            slot.scrubber.sectors_remapped
+            for slot in self._slots.values()
+            if slot.scrubber is not None
+        )
+
+    def error_log(self, name: str):
+        """The device's :class:`~repro.faults.log.ErrorLog` (or ``None``)."""
+        faults = self._slot(name).device.drive.faults
+        return faults.log if faults is not None else None
 
     def _slot(self, name: str) -> _Slot:
         if name not in self._slots:

@@ -18,7 +18,12 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.scrubber import ScrubAlgorithm
-from repro.disk.commands import SECTOR_SIZE, DiskCommand
+from repro.disk.commands import SECTOR_SIZE, CommandStatus, DiskCommand
+from repro.faults.remediation import (
+    RemediationPolicy,
+    RemediationStats,
+    remediate_extent,
+)
 from repro.sched.device import BlockDevice
 from repro.sched.request import IORequest, PriorityClass
 from repro.sim import AnyOf, Interrupt, Process, Simulation
@@ -47,6 +52,7 @@ class WaitingScrubber:
         request_bytes: int = 64 * 1024,
         priority: PriorityClass = PriorityClass.BE,
         source: str = "scrubber",
+        remediation: Optional[RemediationPolicy] = None,
     ) -> None:
         if threshold < 0:
             raise ValueError(f"threshold must be non-negative: {threshold}")
@@ -62,20 +68,28 @@ class WaitingScrubber:
         self.priority = priority
         self.source = source
 
+        self.remediation = remediation
+
         self.requests_issued = 0
         self.bytes_scrubbed = 0
         self.passes_completed = 0
         self.collisions = 0
+        #: Scrub VERIFY requests the drive failed (detections, not sectors).
+        self.errors_seen = 0
+        #: Lifecycle counters (splits, remaps, failures).
+        self.remediation_stats = RemediationStats()
 
         self._fg_outstanding = 0
         self._last_fg_completion = 0.0
         self._activity = sim.event()
         self._process: Optional[Process] = None
+        self._draining = False
 
     # -- lifecycle --------------------------------------------------------------
     def start(self) -> Process:
         if self._process is not None and self._process.is_alive:
             raise RuntimeError("waiting scrubber already running")
+        self._draining = False
         self.device.observers.append(self._observe)
         self.algorithm.reset(self.device.drive.total_sectors, self.request_sectors)
         self._process = self.sim.process(self._run())
@@ -89,6 +103,14 @@ class WaitingScrubber:
             self.device.observers.remove(self._observe)
         except ValueError:
             pass
+
+    def request_stop(self) -> None:
+        """Graceful stop: finish the in-flight verify (and any error
+        remediation it triggered), then exit — nothing is interrupted
+        mid-lifecycle, so every detected error still ends remapped."""
+        self._draining = True
+        if not self._activity.triggered:
+            self._activity.succeed()
 
     def throughput(self, duration: float) -> float:
         """Scrubbed bytes/second over ``duration`` seconds."""
@@ -119,6 +141,8 @@ class WaitingScrubber:
         sim = self.sim
         try:
             while True:
+                if self._draining:
+                    break
                 if self._fg_outstanding > 0:
                     yield self._fresh_activity()
                     continue
@@ -132,13 +156,38 @@ class WaitingScrubber:
                 # Disk has been idle for the full threshold: fire until a
                 # foreground request shows up.
                 while self._fg_outstanding == 0:
-                    yield self._verify()
+                    if self._draining:
+                        break
+                    lbn, sectors = self._next_extent()
+                    request = yield self._submit_verify(lbn, sectors)
+                    if request.breakdown.status is CommandStatus.MEDIUM_ERROR:
+                        self.errors_seen += 1
+                        if self.remediation is not None:
+                            yield from remediate_extent(
+                                sim,
+                                self.device,
+                                lbn,
+                                sectors,
+                                self.remediation,
+                                self._submit_verify,
+                                self.remediation_stats,
+                            )
                     if self._fg_outstanding > 0:
                         self.collisions += 1
         except Interrupt:
             return
+        finally:
+            try:
+                self.device.observers.remove(self._observe)
+            except ValueError:
+                pass
 
-    def _verify(self):
+    @property
+    def sectors_remapped(self) -> int:
+        """Bad sectors this scrubber localised, remapped and re-verified."""
+        return self.remediation_stats.sectors_remapped
+
+    def _next_extent(self):
         extent = self.algorithm.next_extent()
         if extent is None:
             self.passes_completed += 1
@@ -148,7 +197,9 @@ class WaitingScrubber:
             extent = self.algorithm.next_extent()
             if extent is None:
                 raise RuntimeError("scrub algorithm yielded an empty pass")
-        lbn, sectors = extent
+        return extent
+
+    def _submit_verify(self, lbn, sectors):
         request = IORequest(
             DiskCommand.verify(lbn, sectors),
             priority=self.priority,

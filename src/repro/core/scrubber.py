@@ -28,7 +28,12 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-from repro.disk.commands import SECTOR_SIZE, DiskCommand
+from repro.disk.commands import SECTOR_SIZE, CommandStatus, DiskCommand
+from repro.faults.remediation import (
+    RemediationPolicy,
+    RemediationStats,
+    remediate_extent,
+)
 from repro.sched.device import BlockDevice
 from repro.sched.request import IORequest, PriorityClass
 from repro.sim import Interrupt, Process, Simulation
@@ -72,6 +77,13 @@ class Scrubber:
         Rate limiting between requests; see module docstring.
     max_passes:
         Stop after this many full-disk passes (``None`` = run forever).
+    remediation:
+        Error-lifecycle policy.  When set and a scrub ``VERIFY`` comes
+        back ``MEDIUM_ERROR``, the scrubber localises the bad sector by
+        splitting the extent (bounded backoff between probes), remaps
+        it to the spare pool, and re-verifies the remap — the full
+        detection-to-repair lifecycle.  ``None`` counts errors but
+        leaves the sectors bad.
     """
 
     def __init__(
@@ -86,6 +98,7 @@ class Scrubber:
         delay_mode: str = "gap",
         max_passes: Optional[int] = None,
         source: str = "scrubber",
+        remediation: Optional[RemediationPolicy] = None,
     ) -> None:
         if request_bytes % SECTOR_SIZE:
             raise ValueError(
@@ -107,16 +120,23 @@ class Scrubber:
         self.delay_mode = delay_mode
         self.max_passes = max_passes
         self.source = source
+        self.remediation = remediation
 
         self.requests_issued = 0
         self.bytes_scrubbed = 0
         self.passes_completed = 0
+        #: Scrub VERIFY requests the drive failed (detections, not sectors).
+        self.errors_seen = 0
+        #: Lifecycle counters (splits, remaps, failures).
+        self.remediation_stats = RemediationStats()
         self._process: Optional[Process] = None
+        self._draining = False
 
     def start(self) -> Process:
         """Activate scrubbing for this device."""
         if self._process is not None and self._process.is_alive:
             raise RuntimeError("scrubber already running")
+        self._draining = False
         self._process = self.sim.process(self._run())
         return self._process
 
@@ -126,11 +146,22 @@ class Scrubber:
             return
         self._process.interrupt("stop")
 
+    def request_stop(self) -> None:
+        """Graceful stop: finish the in-flight extent (and any error
+        remediation it triggered), then exit — nothing is interrupted
+        mid-lifecycle, so every detected error still ends remapped."""
+        self._draining = True
+
     def throughput(self, duration: float) -> float:
         """Scrubbed bytes/second over ``duration`` seconds."""
         if duration <= 0:
             raise ValueError(f"duration must be positive: {duration}")
         return self.bytes_scrubbed / duration
+
+    @property
+    def sectors_remapped(self) -> int:
+        """Bad sectors this scrubber localised, remapped and re-verified."""
+        return self.remediation_stats.sectors_remapped
 
     # -- the scrubber thread ----------------------------------------------------
     def _run(self):
@@ -139,11 +170,25 @@ class Scrubber:
             while self.max_passes is None or self.passes_completed < self.max_passes:
                 self.algorithm.reset(total, self.request_sectors)
                 while True:
+                    if self._draining:
+                        return
                     extent = self.algorithm.next_extent()
                     if extent is None:
                         break
                     issue_time = self.sim.now
-                    yield self._verify(*extent)
+                    request = yield self._verify(*extent)
+                    if request.breakdown.status is CommandStatus.MEDIUM_ERROR:
+                        self.errors_seen += 1
+                        if self.remediation is not None:
+                            yield from remediate_extent(
+                                self.sim,
+                                self.device,
+                                extent[0],
+                                extent[1],
+                                self.remediation,
+                                self._verify,
+                                self.remediation_stats,
+                            )
                     if self.delay > 0:
                         if self.delay_mode == "gap":
                             yield self.sim.timeout(self.delay)

@@ -24,7 +24,7 @@ Public surface:
 """
 
 from repro.disk.cache import DiskCache
-from repro.disk.commands import DiskCommand, Interface, Opcode
+from repro.disk.commands import CommandStatus, DiskCommand, Interface, Opcode
 from repro.disk.drive import Drive, ServiceBreakdown
 from repro.disk.geometry import DiskGeometry, Location, Zone
 from repro.disk.mechanics import RotationModel, SeekModel
@@ -38,6 +38,7 @@ from repro.disk.models import (
 )
 
 __all__ = [
+    "CommandStatus",
     "DiskCache",
     "DiskCommand",
     "DiskGeometry",

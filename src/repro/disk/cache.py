@@ -129,6 +129,7 @@ class DiskCache:
         now: float,
         fill_rate: float,
         read_ahead: bool = True,
+        limit: Optional[int] = None,
     ) -> Segment:
         """Record a media read of ``[lbn, lbn+sectors)`` finishing at ``now``.
 
@@ -137,12 +138,22 @@ class DiskCache:
         otherwise a new segment is allocated, evicting the LRU one when
         the cache is full.  ``fill_rate`` (sectors/second) is the media
         rate at which the optional read-ahead tail streams in.
+        ``limit`` caps how far the read-ahead tail may extend (the
+        drive stops streaming at an unreadable sector); it never clips
+        the explicitly-read range itself.
         """
         ahead = self.read_ahead_sectors if read_ahead else 0
         end = lbn + sectors + ahead
+        if limit is not None:
+            end = max(lbn + sectors, min(end, limit))
         if self._segments:
             tail = self._segments[-1]
-            if tail.start <= lbn <= tail.end and end >= tail.end:
+            # Only a read overlapping data actually fetched from media
+            # (at or below the filled boundary) continues the stream; a
+            # read landing in the speculative read-ahead tail starts a
+            # segment of its own, so every segment stays justified by a
+            # single read-plus-read-ahead window.
+            if tail.start <= lbn <= tail.filled_boundary and end >= tail.end:
                 tail.end = end
                 tail.filled_boundary = lbn + sectors
                 tail.ready_from = now

@@ -31,6 +31,18 @@ class Interface(enum.Enum):
     ATA = "ata"  # includes SATA
 
 
+class CommandStatus(enum.Enum):
+    """Completion status a drive reports for one command.
+
+    ``MEDIUM_ERROR`` is the SCSI sense key (ATA reports UNC) a drive
+    returns when a command touches an unreadable sector on the medium;
+    it is the signal every latent-sector-error detection starts from.
+    """
+
+    GOOD = "good"
+    MEDIUM_ERROR = "medium_error"
+
+
 @dataclass(frozen=True)
 class DiskCommand:
     """A single command to the drive.

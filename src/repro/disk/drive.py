@@ -24,18 +24,27 @@ Cache semantics per Section III-A:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.disk.cache import DiskCache
-from repro.disk.commands import SECTOR_SIZE, DiskCommand, Interface, Opcode
+from repro.disk.commands import (
+    SECTOR_SIZE,
+    CommandStatus,
+    DiskCommand,
+    Interface,
+    Opcode,
+)
 from repro.disk.geometry import DiskGeometry
 from repro.disk.mechanics import RotationModel, SeekModel
 from repro.disk.models import DriveSpec
 
+if TYPE_CHECKING:  # imported lazily to keep disk <- faults acyclic
+    from repro.faults.state import MediaFaults
+
 
 @dataclass(frozen=True)
 class ServiceBreakdown:
-    """Timing decomposition of one serviced command."""
+    """Timing decomposition (and outcome) of one serviced command."""
 
     start: float
     finish: float
@@ -44,10 +53,20 @@ class ServiceBreakdown:
     rotation: float
     transfer: float
     cache_hit: bool
+    #: Completion status; ``MEDIUM_ERROR`` when the command touched an
+    #: unreadable sector on the medium.
+    status: CommandStatus = CommandStatus.GOOD
+    #: First bad LBN in the range for ``MEDIUM_ERROR`` results (the
+    #: sense-data LBA a real drive reports).
+    error_lbn: Optional[int] = None
 
     @property
     def total(self) -> float:
         return self.finish - self.start
+
+    @property
+    def ok(self) -> bool:
+        return self.status is CommandStatus.GOOD
 
 
 class Drive:
@@ -67,7 +86,12 @@ class Drive:
     issue commands one at a time with non-decreasing ``now`` values.
     """
 
-    def __init__(self, spec: DriveSpec, cache_enabled: bool = True) -> None:
+    def __init__(
+        self,
+        spec: DriveSpec,
+        cache_enabled: bool = True,
+        faults: Optional["MediaFaults"] = None,
+    ) -> None:
         self.spec = spec
         self.geometry = DiskGeometry.zoned(
             heads=spec.heads,
@@ -90,6 +114,9 @@ class Drive:
             read_ahead_sectors=spec.read_ahead_sectors,
         )
         self.cache_enabled = cache_enabled
+        #: Latent-sector-error state; ``None`` means a fault-free drive
+        #: (the fault checks then cost one attribute test per command).
+        self.faults = faults
         self.head_cylinder = 0
         self._last_issue_time = float("-inf")
         self.commands_serviced = 0
@@ -113,6 +140,26 @@ class Drive:
         self.cache_enabled = enabled
         if not enabled:
             self.cache.clear()
+
+    def install_faults(self, faults: "MediaFaults") -> None:
+        """Attach latent-sector-error state to this drive."""
+        if faults.plan.total_sectors != self.total_sectors:
+            raise ValueError(
+                f"fault plan covers {faults.plan.total_sectors} sectors but "
+                f"the drive has {self.total_sectors}"
+            )
+        self.faults = faults
+
+    def reallocate(self, lbn: int, now: float) -> bool:
+        """Remap ``lbn`` to the spare pool (``REASSIGN BLOCKS``).
+
+        Returns ``False`` when the spare pool is exhausted.  Any cached
+        copy of the sector is dropped so later commands see the spare.
+        """
+        if self.faults is None:
+            raise RuntimeError("drive has no fault state installed")
+        self.cache.invalidate(lbn, 1)
+        return self.faults.reallocate(lbn, now)
 
     # -- service --------------------------------------------------------------
     def service(self, command: DiskCommand, now: float) -> ServiceBreakdown:
@@ -167,6 +214,17 @@ class Drive:
         t = max(t, ready)
         transfer = command.bytes / self.spec.interface_rate
         finish = t + transfer + self.spec.completion_overhead
+        if self.faults is not None:
+            # Buffer service never touches the medium, so a sector that
+            # went bad after it was cached is silently reported good —
+            # for ATA VERIFY this is the paper's Fig. 1 firmware bug
+            # losing a real latent error.
+            for bad in self.faults.bad_in_range(
+                command.lbn, command.sectors, now
+            ):
+                self.faults.log.record_cache_masked(
+                    finish, bad, command.opcode.value
+                )
         return ServiceBreakdown(
             start=now,
             finish=finish,
@@ -218,18 +276,42 @@ class Drive:
             remaining -= chunk
 
         media_end = t
+
+        status = CommandStatus.GOOD
+        error_lbn: Optional[int] = None
+        if self.faults is not None:
+            error_lbn = self.faults.first_bad(command.lbn, command.sectors, now)
+            if error_lbn is not None:
+                # The head reached an unreadable sector: the drive burns
+                # its retry/ECC budget, then fails the whole command with
+                # a MEDIUM ERROR naming the first bad LBA.
+                status = CommandStatus.MEDIUM_ERROR
+                media_end += self.spec.media_error_retry_time
         finish = media_end + self.spec.completion_overhead
 
-        if self._uses_cache_path(command):
+        if status is CommandStatus.MEDIUM_ERROR:
+            # Nothing past the bad sector was read; keep the buffer free
+            # of any stale copy of the failed range.
+            self.cache.invalidate(command.lbn, command.sectors)
+        elif self._uses_cache_path(command):
             zone_rate = self.geometry.sectors_per_track_at(
                 command.lbn
             ) / self.rotation.period
+            limit = None
+            if self.faults is not None:
+                # Read-ahead stops at the first unreadable sector: the
+                # firmware cannot stream data it cannot read, so the
+                # cache never covers a sector that was already bad when
+                # the segment filled.
+                end = command.end_lbn + self.cache.read_ahead_sectors
+                limit = self.faults.limit_end(command.end_lbn, end, now)
             self.cache.insert(
                 command.lbn,
                 command.sectors,
                 media_end,
                 fill_rate=zone_rate,
                 read_ahead=True,
+                limit=limit,
             )
         elif command.opcode is Opcode.WRITE:
             self.cache.invalidate(command.lbn, command.sectors)
@@ -242,6 +324,8 @@ class Drive:
             rotation=rotation_total,
             transfer=transfer_total,
             cache_hit=False,
+            status=status,
+            error_lbn=error_lbn,
         )
 
     def __repr__(self) -> str:

@@ -48,6 +48,9 @@ class DriveSpec:
     read_ahead_sectors: int = 1024  # 512 KB
     #: The Section III-A bug: VERIFY served from the on-disk cache.
     ata_verify_cache_bug: bool = False
+    #: Extra service time a command spends in retry/ECC effort before
+    #: surrendering with a MEDIUM ERROR on an unreadable sector.
+    media_error_retry_time: float = 0.05
 
     @property
     def rotation_period(self) -> float:

@@ -1,0 +1,154 @@
+"""Structured error lifecycle log.
+
+Every observable step of a latent sector error's life is appended to an
+:class:`ErrorLog` as an :class:`ErrorRecord`:
+
+* ``INJECTED`` — the error's onset (recorded when the simulation clock
+  first reaches it);
+* ``MEDIA_ERROR`` — a command touched the bad sector on the medium and
+  failed with ``MEDIUM_ERROR``; the *first* such record per LBN is the
+  error's detection, attributed to the submitting source (scrubber vs
+  foreground);
+* ``CACHE_MASKED`` — a command over the bad sector was served from the
+  drive cache and silently reported success (the ATA ``VERIFY``
+  firmware bug of paper Fig. 1: the scrub "passes" without ever
+  touching the medium);
+* ``REALLOCATED`` / ``REALLOCATION_FAILED`` — the sector was remapped
+  to the spare pool (or the pool was exhausted);
+* ``VERIFY_AFTER_REMAP`` — the post-remap verification pass, with its
+  outcome in ``ok``.
+
+Analysis code (:mod:`repro.analysis.detection`) consumes the log to
+compute mean time to detection, detection ratios by source, and
+errors missed due to the cache.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class ErrorEventKind(enum.Enum):
+    """Lifecycle stages of a latent sector error."""
+
+    INJECTED = "injected"
+    MEDIA_ERROR = "media_error"
+    CACHE_MASKED = "cache_masked"
+    REALLOCATED = "reallocated"
+    REALLOCATION_FAILED = "reallocation_failed"
+    VERIFY_AFTER_REMAP = "verify_after_remap"
+
+
+@dataclass(frozen=True)
+class ErrorRecord:
+    """One lifecycle event for one sector."""
+
+    time: float
+    kind: ErrorEventKind
+    lbn: int
+    #: Submitting stream for media errors (``"scrubber"``, ``"foreground"``, ...).
+    source: str = ""
+    #: Disk command opcode involved, when applicable (``"read"``, ``"verify"``...).
+    opcode: str = ""
+    #: Outcome flag for ``VERIFY_AFTER_REMAP`` / ``REALLOCATED`` records.
+    ok: bool = True
+
+
+@dataclass
+class ErrorLog:
+    """Append-only record list plus per-sector lifecycle indexes."""
+
+    records: List[ErrorRecord] = field(default_factory=list)
+    #: LBN -> onset time (filled by ``INJECTED`` records).
+    onsets: Dict[int, float] = field(default_factory=dict)
+    #: LBN -> the first ``MEDIA_ERROR`` record (the detection).
+    detections: Dict[int, ErrorRecord] = field(default_factory=dict)
+    #: LBN -> remap time, for sectors moved to the spare pool.
+    remapped: Dict[int, float] = field(default_factory=dict)
+    #: LBN -> ``True`` once a post-remap verify succeeded.
+    verified: Dict[int, bool] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- recording ------------------------------------------------------------
+    def record_injected(self, time: float, lbn: int) -> None:
+        self.records.append(
+            ErrorRecord(time=time, kind=ErrorEventKind.INJECTED, lbn=lbn)
+        )
+        self.onsets.setdefault(lbn, time)
+
+    def record_media_error(
+        self, time: float, lbn: int, source: str, opcode: str
+    ) -> None:
+        record = ErrorRecord(
+            time=time,
+            kind=ErrorEventKind.MEDIA_ERROR,
+            lbn=lbn,
+            source=source,
+            opcode=opcode,
+        )
+        self.records.append(record)
+        self.detections.setdefault(lbn, record)
+
+    def record_cache_masked(self, time: float, lbn: int, opcode: str) -> None:
+        self.records.append(
+            ErrorRecord(
+                time=time, kind=ErrorEventKind.CACHE_MASKED, lbn=lbn, opcode=opcode
+            )
+        )
+
+    def record_reallocated(self, time: float, lbn: int, ok: bool) -> None:
+        kind = (
+            ErrorEventKind.REALLOCATED if ok else ErrorEventKind.REALLOCATION_FAILED
+        )
+        self.records.append(ErrorRecord(time=time, kind=kind, lbn=lbn, ok=ok))
+        if ok:
+            self.remapped.setdefault(lbn, time)
+
+    def record_verify_after_remap(self, time: float, lbn: int, ok: bool) -> None:
+        self.records.append(
+            ErrorRecord(
+                time=time,
+                kind=ErrorEventKind.VERIFY_AFTER_REMAP,
+                lbn=lbn,
+                opcode="verify",
+                ok=ok,
+            )
+        )
+        if ok:
+            self.verified[lbn] = True
+
+    # -- queries --------------------------------------------------------------
+    def by_kind(self, kind: ErrorEventKind) -> List[ErrorRecord]:
+        return [r for r in self.records if r.kind is kind]
+
+    def detection_latency(self, lbn: int) -> Optional[float]:
+        """Onset-to-detection delay for ``lbn``, or ``None`` if undetected."""
+        detection = self.detections.get(lbn)
+        onset = self.onsets.get(lbn)
+        if detection is None or onset is None:
+            return None
+        return detection.time - onset
+
+    def detected_by(self, source_prefix: str) -> List[int]:
+        """LBNs whose *first* detection came from sources named ``prefix*``."""
+        return sorted(
+            lbn
+            for lbn, record in self.detections.items()
+            if record.source.startswith(source_prefix)
+        )
+
+    def scrub_lifecycle_complete(self, source_prefix: str = "scrubber") -> bool:
+        """Every scrub-detected sector ended remapped and verified.
+
+        This is the end-to-end lifecycle invariant: detection by the
+        scrubber must be followed by a successful reallocation *and* a
+        successful verify-after-remap for the same LBN.
+        """
+        for lbn in self.detected_by(source_prefix):
+            if lbn not in self.remapped or not self.verified.get(lbn, False):
+                return False
+        return True

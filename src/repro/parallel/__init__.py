@@ -20,12 +20,13 @@ from repro.parallel.cache import (
     canonicalize,
     default_cache_dir,
 )
-from repro.parallel.runner import SweepRunner, derive_seed
+from repro.parallel.runner import SweepRunner, SweepTaskError, derive_seed
 
 __all__ = [
     "CACHE_DIR_ENV",
     "ResultCache",
     "SweepRunner",
+    "SweepTaskError",
     "canonicalize",
     "default_cache_dir",
     "derive_seed",

@@ -11,6 +11,15 @@ worker-local state leaks into results.
 Tasks that cannot be pickled (lambdas, closures, open handles in the
 parameters) transparently fall back to in-process serial execution, so
 callers never need two code paths.
+
+A worker that *dies* (segfault, OOM kill, ``os._exit``) poisons the
+whole ``ProcessPoolExecutor``: every outstanding future raises
+``BrokenProcessPool`` and, naively, a single bad parameter set aborts
+the entire sweep with no indication of which task was at fault.
+:meth:`SweepRunner.map` instead retries each affected task once on a
+fresh single-worker pool — tasks that merely shared the poisoned pool
+succeed there — and raises a structured :class:`SweepTaskError` naming
+the reproducibly-fatal parameter sets.
 """
 
 from __future__ import annotations
@@ -19,9 +28,29 @@ import hashlib
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.parallel.cache import ResultCache
+
+
+class SweepTaskError(RuntimeError):
+    """Sweep tasks crashed their worker process, twice each.
+
+    Raised only after every victim of a broken pool got a clean retry
+    on a fresh worker; the tasks listed here killed that worker too,
+    so the crash is attributable to their parameters.
+    """
+
+    def __init__(self, failures: List[Tuple[int, dict]]) -> None:
+        self.failures = list(failures)
+        detail = "; ".join(
+            f"task {index} {params!r}" for index, params in self.failures
+        )
+        super().__init__(
+            f"{len(self.failures)} sweep task(s) crashed their worker "
+            f"after a retry on a fresh process: {detail}"
+        )
 
 
 def derive_seed(base_seed: int, index: int) -> int:
@@ -147,14 +176,32 @@ class SweepRunner:
         )
         if use_pool:
             max_workers = min(self.workers, len(pending))
+            outcomes = []
+            victims: List[tuple] = []  # (index, key, params) hit by a broken pool
             with ProcessPoolExecutor(max_workers=max_workers) as pool:
                 futures = [
-                    (index, key, pool.submit(_call, fn, params))
+                    (index, key, params, pool.submit(_call, fn, params))
                     for index, key, params in pending
                 ]
-                outcomes = [
-                    (index, key, future.result()) for index, key, future in futures
-                ]
+                for index, key, params, future in futures:
+                    try:
+                        outcomes.append((index, key, future.result()))
+                    except BrokenProcessPool:
+                        victims.append((index, key, params))
+            failures: List[Tuple[int, dict]] = []
+            for index, key, params in victims:
+                # One retry each, isolated on a fresh worker: a task that
+                # only *shared* the poisoned pool completes here, while a
+                # genuinely fatal parameter set kills its private worker.
+                try:
+                    with ProcessPoolExecutor(max_workers=1) as pool:
+                        outcomes.append(
+                            (index, key, pool.submit(_call, fn, params).result())
+                        )
+                except BrokenProcessPool:
+                    failures.append((index, params))
+            if failures:
+                raise SweepTaskError(sorted(failures))
         else:
             outcomes = [
                 (index, key, fn(**params)) for index, key, params in pending

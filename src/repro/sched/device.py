@@ -57,6 +57,10 @@ class RequestLog:
     def count(self, source: Optional[str] = None) -> int:
         return len(self.requests(source)) if source else len(self._records)
 
+    def errors(self, source: Optional[str] = None) -> List[IORequest]:
+        """Completed requests the drive failed with ``MEDIUM_ERROR``."""
+        return [r for r in self.requests(source) if r.failed]
+
 
 class BlockDevice:
     """A drive fronted by an I/O scheduler inside a simulation.
@@ -150,6 +154,16 @@ class BlockDevice:
 
             request.complete_time = sim.now
             request.breakdown = breakdown
+            if breakdown.error_lbn is not None and self.drive.faults is not None:
+                # Attribute the detection to the submitting stream: this
+                # is where "found by the scrubber" vs "found the hard
+                # way, by a foreground read" is decided.
+                self.drive.faults.log.record_media_error(
+                    sim.now,
+                    breakdown.error_lbn,
+                    source=request.source,
+                    opcode=request.command.opcode.value,
+                )
             self.scheduler.on_complete(request, sim.now)
             self.log.add(request)
             for observer in self.observers:

@@ -94,6 +94,22 @@ class IORequest:
     def bytes(self) -> int:
         return self.command.bytes
 
+    @property
+    def status(self):
+        """Drive completion status (``CommandStatus``) of this request."""
+        if self.breakdown is None:
+            raise RuntimeError(f"{self!r} has not completed")
+        return self.breakdown.status
+
+    @property
+    def failed(self) -> bool:
+        """``True`` when the drive failed the request (``MEDIUM_ERROR``)."""
+        from repro.disk.commands import CommandStatus
+
+        return self.breakdown is not None and (
+            self.breakdown.status is not CommandStatus.GOOD
+        )
+
     def __repr__(self) -> str:
         barrier = " barrier" if self.soft_barrier else ""
         return (

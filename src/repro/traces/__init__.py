@@ -19,7 +19,7 @@ are not redistributable, so this package provides:
 
 from repro.traces.catalog import CATALOG, TraceSpec, generate_trace
 from repro.traces.idle import idle_intervals
-from repro.traces.io import read_csv_trace, write_csv_trace
+from repro.traces.io import TraceFormatError, read_csv_trace, write_csv_trace
 from repro.traces.record import Trace, TraceRecord
 from repro.traces.synth import SyntheticTraceGenerator, TraceProfile
 
@@ -27,6 +27,7 @@ __all__ = [
     "CATALOG",
     "SyntheticTraceGenerator",
     "Trace",
+    "TraceFormatError",
     "TraceProfile",
     "TraceRecord",
     "TraceSpec",

@@ -38,6 +38,59 @@ _TICKS_PER_SECOND = 10_000_000
 _SECTOR = 512
 
 
+class TraceFormatError(ValueError):
+    """A trace CSV the parser cannot accept, pinpointed to its line.
+
+    Raised for malformed rows (wrong column count), non-numeric fields,
+    negative offsets/sizes/timestamps and unknown operation codes; the
+    message always names the file and 1-based line number so a bad row
+    in a multi-GB trace can be found without bisecting the file.
+    """
+
+    def __init__(self, path, lineno: int, message: str) -> None:
+        super().__init__(f"{path}:{lineno}: {message}")
+        self.path = str(path)
+        self.lineno = lineno
+
+
+def _numeric_column(values, linenos, path, what: str, dtype) -> np.ndarray:
+    """Batch-convert one column, blaming the exact line on failure."""
+    try:
+        return np.asarray(values, dtype=dtype)
+    except (ValueError, OverflowError):
+        caster = float if dtype is float else int
+        for lineno, value in zip(linenos, values):
+            try:
+                caster(value)
+            except (ValueError, OverflowError):
+                raise TraceFormatError(
+                    path, lineno, f"non-numeric {what}: {value!r}"
+                ) from None
+        raise  # every field converts alone; re-raise the batch failure
+
+
+def _require_min(array, linenos, path, what: str, minimum: int) -> None:
+    bad = np.flatnonzero(array < minimum)
+    if bad.size:
+        first = int(bad[0])
+        kind = "negative" if minimum == 0 else "non-positive"
+        raise TraceFormatError(
+            path, int(linenos[first]), f"{kind} {what}: {array[first]}"
+        )
+
+
+def _require_ops(ops, prefixes, linenos, path) -> None:
+    known = np.zeros(len(ops), dtype=bool)
+    for prefix in prefixes:
+        known |= np.char.startswith(ops, prefix)
+    bad = np.flatnonzero(~known)
+    if bad.size:
+        first = int(bad[0])
+        raise TraceFormatError(
+            path, int(linenos[first]), f"unknown operation: {ops[first]!r}"
+        )
+
+
 def _open(path: Union[str, Path], mode: str):
     path = Path(path)
     if path.suffix == ".gz":
@@ -70,39 +123,64 @@ def write_csv_trace(trace: Trace, path: Union[str, Path]) -> None:
 
 
 def read_csv_trace(path: Union[str, Path], name: Optional[str] = None) -> Trace:
-    """Read a canonical or MSR-dialect CSV trace (auto-detected)."""
+    """Read a canonical or MSR-dialect CSV trace (auto-detected).
+
+    Raises
+    ------
+    TraceFormatError
+        On any malformed row — wrong column count, non-numeric field,
+        negative offset/size/timestamp, unknown operation — naming the
+        offending line number.
+    """
     meta = {"name": name or Path(path).stem, "description": "",
             "capacity_sectors": None}
     rows: List[List[str]] = []
+    linenos: List[int] = []
     header: Optional[List[str]] = None
+    header_line = 0
     with _open(path, "r") as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
                 continue
             if line.startswith("#"):
-                _parse_meta(line, meta)
+                _parse_meta(line, meta, path, lineno)
                 continue
             fields = line.split(",")
-            if header is None and _looks_like_header(fields):
+            if header is None and not rows and _looks_like_header(fields):
                 header = [f.strip().lower() for f in fields]
+                header_line = lineno
                 continue
             rows.append(fields)
+            linenos.append(lineno)
     if not rows:
         return Trace(
             np.zeros(0), np.zeros(0, int), np.ones(0, int), np.zeros(0, bool),
             **meta,
         )
     if header is not None:
-        return _parse_canonical(rows, header, meta)
+        _check_widths(rows, linenos, len(header), path, "header")
+        return _parse_canonical(rows, linenos, header, header_line, meta, path)
     if len(rows[0]) >= 6:
-        return _parse_msr(rows, meta)
-    raise ValueError(
-        f"unrecognised trace dialect in {path}: {len(rows[0])} columns, no header"
+        _check_widths(rows, linenos, len(rows[0]), path, "first row")
+        return _parse_msr(rows, linenos, meta, path)
+    raise TraceFormatError(
+        path, linenos[0],
+        f"unrecognised trace dialect: {len(rows[0])} columns, no header",
     )
 
 
-def _parse_meta(line: str, meta: dict) -> None:
+def _check_widths(rows, linenos, expected: int, path, against: str) -> None:
+    for fields, lineno in zip(rows, linenos):
+        if len(fields) != expected:
+            raise TraceFormatError(
+                path, lineno,
+                f"malformed row: {len(fields)} columns where the "
+                f"{against} has {expected}",
+            )
+
+
+def _parse_meta(line: str, meta: dict, path, lineno: int) -> None:
     body = line.lstrip("#").strip()
     if ":" not in body:
         return
@@ -114,7 +192,12 @@ def _parse_meta(line: str, meta: dict) -> None:
     elif key == "description":
         meta["description"] = value
     elif key == "capacity_sectors":
-        meta["capacity_sectors"] = int(value)
+        try:
+            meta["capacity_sectors"] = int(value)
+        except ValueError:
+            raise TraceFormatError(
+                path, lineno, f"non-numeric capacity_sectors: {value!r}"
+            ) from None
 
 
 def _looks_like_header(fields: List[str]) -> bool:
@@ -125,17 +208,25 @@ def _looks_like_header(fields: List[str]) -> bool:
         return True
 
 
-def _parse_canonical(rows, header, meta) -> Trace:
+def _parse_canonical(rows, linenos, header, header_line, meta, path) -> Trace:
     index = {name: i for i, name in enumerate(header)}
     for required in ("time", "lbn", "sectors", "op"):
         if required not in index:
-            raise ValueError(f"canonical trace missing column {required!r}")
+            raise TraceFormatError(
+                path, header_line, f"canonical trace missing column {required!r}"
+            )
     # One transpose, then NumPy converts each column in a single C pass.
     columns = list(zip(*rows))
-    times = np.asarray(columns[index["time"]], dtype=float)
-    lbns = np.asarray(columns[index["lbn"]], dtype=np.int64)
-    sectors = np.asarray(columns[index["sectors"]], dtype=np.int64)
+    times = _numeric_column(columns[index["time"]], linenos, path, "time", float)
+    lbns = _numeric_column(columns[index["lbn"]], linenos, path, "lbn", np.int64)
+    sectors = _numeric_column(
+        columns[index["sectors"]], linenos, path, "sectors", np.int64
+    )
+    _require_min(times, linenos, path, "time", 0)
+    _require_min(lbns, linenos, path, "lbn", 0)
+    _require_min(sectors, linenos, path, "sectors", 1)
     ops = np.char.upper(np.char.strip(np.asarray(columns[index["op"]])))
+    _require_ops(ops, ("R", "W"), linenos, path)
     is_write = np.char.startswith(ops, "W")
     order = np.argsort(times, kind="stable")
     return Trace(
@@ -143,15 +234,23 @@ def _parse_canonical(rows, header, meta) -> Trace:
     )
 
 
-def _parse_msr(rows, meta) -> Trace:
+def _parse_msr(rows, linenos, meta, path) -> Trace:
     # timestamp,hostname,disknum,type,offset,size[,response]
     columns = list(zip(*rows))
-    ticks = np.asarray(columns[0], dtype=np.int64)
-    times = (ticks - ticks.min()) / _TICKS_PER_SECOND
+    ticks = _numeric_column(columns[0], linenos, path, "timestamp", np.int64)
+    offsets = _numeric_column(
+        columns[4], linenos, path, "offset_bytes", np.int64
+    )
+    sizes = _numeric_column(columns[5], linenos, path, "size_bytes", np.int64)
+    _require_min(ticks, linenos, path, "timestamp", 0)
+    _require_min(offsets, linenos, path, "offset_bytes", 0)
+    _require_min(sizes, linenos, path, "size_bytes", 0)
     ops = np.char.lower(np.char.strip(np.asarray(columns[3])))
+    _require_ops(ops, ("r", "w"), linenos, path)
     is_write = np.char.startswith(ops, "w")
-    lbns = np.asarray(columns[4], dtype=np.int64) // _SECTOR
-    sectors = np.maximum(1, np.asarray(columns[5], dtype=np.int64) // _SECTOR)
+    times = (ticks - ticks.min()) / _TICKS_PER_SECOND
+    lbns = offsets // _SECTOR
+    sectors = np.maximum(1, sizes // _SECTOR)
     order = np.argsort(times, kind="stable")
     return Trace(
         times[order], lbns[order], sectors[order], is_write[order], **meta

@@ -1,0 +1,329 @@
+"""Tests for fault injection and the error lifecycle (repro.faults).
+
+Covers the fault plans (deterministic, seeded), live media fault state
+(activation, range queries, spare-pool reallocation), the status plumbing
+through drive and block layer, the ATA ``VERIFY``-from-cache silent-miss
+path (paper Fig. 1), and the scrub-side split/remap/verify lifecycle.
+"""
+
+import pytest
+
+from repro.core import Scrubber, SequentialScrub
+from repro.disk import Drive, wd_caviar_blue
+from repro.disk.commands import CommandStatus, DiskCommand
+from repro.disk.models import DriveSpec
+from repro.faults import (
+    BernoulliFaultModel,
+    ClusteredBurstFaultModel,
+    ErrorEventKind,
+    FaultPlan,
+    MediaFaults,
+    RemediationPolicy,
+    SectorError,
+    build_model,
+)
+from repro.sched import BlockDevice, NoopScheduler
+from repro.sched.request import IORequest
+from repro.sim import Simulation
+
+
+def tiny_spec(**overrides) -> DriveSpec:
+    """A minuscule drive (6400 sectors) so passes finish quickly."""
+    spec = wd_caviar_blue().with_overrides(
+        cylinders=50, outer_spt=64, inner_spt=64, num_zones=1, heads=2,
+        average_seek=1e-3, full_stroke_seek=2e-3,
+    )
+    return spec.with_overrides(**overrides)
+
+
+def plan_at(drive: Drive, *errors) -> FaultPlan:
+    """A hand-built plan of ``(time, lbn)`` pairs for ``drive``."""
+    return FaultPlan(
+        total_sectors=drive.total_sectors,
+        horizon=max((t for t, _ in errors), default=0.0) + 1.0,
+        errors=tuple(SectorError(time=t, lbn=l) for t, l in errors),
+    )
+
+
+def make_stack(spec=None, cache_enabled=False, faults_errors=(), plan=None):
+    sim = Simulation()
+    drive = Drive(spec or tiny_spec(), cache_enabled=cache_enabled)
+    if plan is None:
+        plan = plan_at(drive, *faults_errors)
+    faults = MediaFaults(plan)
+    drive.install_faults(faults)
+    device = BlockDevice(sim, drive, NoopScheduler())
+    return sim, device, faults
+
+
+def run_request(sim, device, command, source="foreground"):
+    request = IORequest(command, source=source)
+    completion = device.submit(request)
+    sim.run(until=completion)
+    return request
+
+
+# -- fault plans --------------------------------------------------------------
+
+class TestFaultPlans:
+    def test_same_seed_same_plan(self):
+        model = ClusteredBurstFaultModel(inter_burst_mean=1.0)
+        a = model.generate(100_000, 30.0, seed=42)
+        b = model.generate(100_000, 30.0, seed=42)
+        assert a == b
+
+    def test_different_seed_different_plan(self):
+        model = ClusteredBurstFaultModel(inter_burst_mean=1.0)
+        a = model.generate(100_000, 30.0, seed=1)
+        b = model.generate(100_000, 30.0, seed=2)
+        assert a != b
+
+    def test_errors_within_bounds(self):
+        for name in ("bernoulli", "bursts"):
+            model = build_model(name)
+            plan = model.generate(10_000, 5.0, seed=7)
+            for error in plan.errors:
+                assert 0 <= error.lbn < 10_000
+                assert 0.0 <= error.time <= 5.0
+
+    def test_bernoulli_rate_scales(self):
+        sparse = BernoulliFaultModel(per_sector_probability=1e-4)
+        dense = BernoulliFaultModel(per_sector_probability=1e-2)
+        n = 100_000
+        assert len(dense.generate(n, 1.0, seed=0)) > len(
+            sparse.generate(n, 1.0, seed=0)
+        )
+
+    def test_plan_validates_lbns(self):
+        with pytest.raises(ValueError):
+            FaultPlan(
+                total_sectors=10,
+                horizon=1.0,
+                errors=(SectorError(time=0.0, lbn=10),),
+            )
+
+    def test_one_onset_per_lbn(self):
+        plan = ClusteredBurstFaultModel(inter_burst_mean=0.01).generate(
+            5_000, 5.0, seed=3
+        )
+        lbns = [e.lbn for e in plan.errors]
+        assert len(lbns) == len(set(lbns))
+
+    def test_unknown_model_name(self):
+        with pytest.raises(ValueError):
+            build_model("cosmic-rays")
+
+
+# -- media fault state --------------------------------------------------------
+
+class TestMediaFaults:
+    def test_errors_activate_at_onset(self):
+        drive = Drive(tiny_spec(), cache_enabled=False)
+        faults = MediaFaults(plan_at(drive, (2.0, 100)))
+        assert faults.first_bad(0, drive.total_sectors, now=1.0) is None
+        assert faults.first_bad(0, drive.total_sectors, now=2.0) == 100
+
+    def test_range_queries(self):
+        drive = Drive(tiny_spec(), cache_enabled=False)
+        faults = MediaFaults(plan_at(drive, (0.0, 10), (0.0, 20), (0.0, 30)))
+        assert faults.bad_in_range(0, 25, now=0.0) == [10, 20]
+        assert faults.first_bad(11, 100, now=0.0) == 20
+        assert faults.limit_end(0, 50, now=0.0) == 10
+        assert faults.limit_end(31, 50, now=0.0) == 50
+
+    def test_reallocate_clears_and_consumes_spare(self):
+        drive = Drive(tiny_spec(), cache_enabled=False)
+        faults = MediaFaults(plan_at(drive, (0.0, 10)), spare_sectors=1)
+        assert faults.reallocate(10, now=0.5)
+        assert faults.first_bad(10, 1, now=0.5) is None
+        assert faults.remapped_count == 1
+        # Pool exhausted: the next reallocation fails and is logged.
+        assert not faults.reallocate(11, now=0.6)
+        kinds = [r.kind for r in faults.log.records]
+        assert ErrorEventKind.REALLOCATION_FAILED in kinds
+
+    def test_remap_before_onset_suppresses_error(self):
+        drive = Drive(tiny_spec(), cache_enabled=False)
+        faults = MediaFaults(plan_at(drive, (5.0, 99)))
+        faults.reallocate(99, now=1.0)
+        assert faults.first_bad(99, 1, now=6.0) is None
+
+    def test_install_checks_size(self):
+        drive = Drive(tiny_spec(), cache_enabled=False)
+        plan = FaultPlan(total_sectors=drive.total_sectors + 1, horizon=1.0,
+                         errors=())
+        with pytest.raises(ValueError):
+            drive.install_faults(MediaFaults(plan))
+
+
+# -- command status through the stack ----------------------------------------
+
+class TestMediumErrors:
+    def test_read_over_bad_sector_fails(self):
+        sim, device, _ = make_stack(faults_errors=[(0.0, 50)])
+        request = run_request(sim, device, DiskCommand.read(40, 20))
+        assert request.failed
+        assert request.status is CommandStatus.MEDIUM_ERROR
+        assert request.breakdown.error_lbn == 50
+
+    def test_read_outside_bad_extent_succeeds(self):
+        sim, device, _ = make_stack(faults_errors=[(0.0, 50)])
+        request = run_request(sim, device, DiskCommand.read(51, 20))
+        assert not request.failed
+        assert request.status is CommandStatus.GOOD
+
+    def test_error_costs_retry_time(self):
+        spec = tiny_spec()
+        sim, device, _ = make_stack(spec=spec, faults_errors=[(0.0, 50)])
+        bad = run_request(sim, device, DiskCommand.read(50, 1))
+        sim2, device2, _ = make_stack(spec=spec)
+        good = run_request(sim2, device2, DiskCommand.read(50, 1))
+        assert bad.service_time - good.service_time == pytest.approx(
+            spec.media_error_retry_time
+        )
+
+    def test_detection_attributed_to_source(self):
+        sim, device, faults = make_stack(faults_errors=[(0.0, 50)])
+        run_request(sim, device, DiskCommand.verify(0, 100), source="scrubber")
+        detection = faults.log.detections[50]
+        assert detection.source == "scrubber"
+        assert faults.log.detected_by("scrubber") == [50]
+        assert device.log.errors("scrubber")[0].command.lbn == 0
+
+    def test_verify_on_scsi_drive_always_hits_media(self):
+        spec = tiny_spec(ata_verify_cache_bug=False)
+        sim, device, faults = make_stack(
+            spec=spec, cache_enabled=True,
+            plan=plan_at(Drive(spec), (1.0, 100)),
+        )
+        # Cache the region while it is still healthy...
+        first = run_request(sim, device, DiskCommand.verify(96, 16))
+        assert not first.failed
+        # ...then fail it on the medium after the error's onset.
+        sim.run(until=2.0)
+        second = run_request(sim, device, DiskCommand.verify(96, 16))
+        assert second.failed
+        assert faults.log.detections[100].opcode == "verify"
+
+
+# -- the ATA VERIFY cache bug (Fig. 1) ---------------------------------------
+
+class TestAtaCacheBugMasksErrors:
+    def stack(self, bug: bool):
+        spec = tiny_spec(ata_verify_cache_bug=bug)
+        return make_stack(
+            spec=spec, cache_enabled=True,
+            plan=plan_at(Drive(spec), (1.0, 100)),
+        )
+
+    def test_cached_verify_over_bad_sector_reports_success_on_ata(self):
+        sim, device, faults = self.stack(bug=True)
+        # READ caches [96, 112) while healthy; the error onsets at t=1;
+        # the later VERIFY is served from the cache and silently passes.
+        run_request(sim, device, DiskCommand.read(96, 16))
+        sim.run(until=2.0)
+        verify = run_request(sim, device, DiskCommand.verify(96, 16),
+                             source="scrubber")
+        assert not verify.failed  # the scrub "passed"
+        masked = faults.log.by_kind(ErrorEventKind.CACHE_MASKED)
+        assert [r.lbn for r in masked] == [100]
+        assert faults.log.detections == {}
+
+    def test_same_plan_on_scsi_semantics_reports_medium_error(self):
+        sim, device, faults = self.stack(bug=False)
+        run_request(sim, device, DiskCommand.read(96, 16))
+        sim.run(until=2.0)
+        verify = run_request(sim, device, DiskCommand.verify(96, 16),
+                             source="scrubber")
+        assert verify.failed
+        assert verify.status is CommandStatus.MEDIUM_ERROR
+        assert 100 in faults.log.detections
+        assert faults.log.by_kind(ErrorEventKind.CACHE_MASKED) == []
+
+    def test_read_ahead_never_caches_an_active_bad_sector(self):
+        spec = tiny_spec(ata_verify_cache_bug=True)
+        sim, device, _ = make_stack(
+            spec=spec, cache_enabled=True,
+            plan=plan_at(Drive(spec), (0.0, 100)),
+        )
+        # The error is active *before* this read of [80, 96): read-ahead
+        # must stop at LBN 100, so a VERIFY there still hits the medium.
+        run_request(sim, device, DiskCommand.read(80, 16))
+        verify = run_request(sim, device, DiskCommand.verify(100, 1))
+        assert verify.failed
+
+
+# -- the scrub lifecycle ------------------------------------------------------
+
+class TestScrubLifecycle:
+    def test_split_remap_verify_end_to_end(self):
+        sim, device, faults = make_stack(
+            faults_errors=[(0.0, 70), (0.0, 71), (0.0, 500)]
+        )
+        scrubber = Scrubber(
+            sim, device, SequentialScrub(), max_passes=1,
+            remediation=RemediationPolicy(),
+        )
+        sim.run(until=scrubber.start())
+        faults.finalize(sim.now)
+        log = faults.log
+        assert scrubber.errors_seen == 2  # two failing top-level extents
+        assert scrubber.sectors_remapped == 3
+        assert sorted(log.remapped) == [70, 71, 500]
+        assert all(log.verified.get(lbn) for lbn in (70, 71, 500))
+        assert log.scrub_lifecycle_complete()
+        assert faults.active_count == 0
+        # Detection precedes reallocation precedes verify, per sector.
+        for lbn in (70, 71, 500):
+            assert log.detections[lbn].time <= log.remapped[lbn]
+
+    def test_without_remediation_errors_stay_bad(self):
+        sim, device, faults = make_stack(faults_errors=[(0.0, 70)])
+        scrubber = Scrubber(sim, device, SequentialScrub(), max_passes=1)
+        sim.run(until=scrubber.start())
+        assert scrubber.errors_seen == 1
+        assert scrubber.sectors_remapped == 0
+        assert faults.active_count == 1
+        assert not faults.log.remapped
+
+    def test_request_stop_finishes_remediation(self):
+        sim, device, faults = make_stack(faults_errors=[(0.0, 70)])
+        scrubber = Scrubber(
+            sim, device, SequentialScrub(), remediation=RemediationPolicy()
+        )
+        process = scrubber.start()
+        sim.run(until=0.01)  # mid-pass, likely mid-remediation
+        scrubber.request_stop()
+        sim.run(until=process)
+        assert faults.log.scrub_lifecycle_complete()
+
+    def test_backoff_slows_split(self):
+        fast = RemediationPolicy(backoff=0.0)
+        slow = RemediationPolicy(backoff=0.05, max_backoff=1.0)
+        times = {}
+        for label, policy in (("fast", fast), ("slow", slow)):
+            sim, device, _ = make_stack(faults_errors=[(0.0, 70)])
+            scrubber = Scrubber(
+                sim, device, SequentialScrub(), max_passes=1,
+                remediation=policy,
+            )
+            sim.run(until=scrubber.start())
+            times[label] = sim.now
+        assert times["slow"] > times["fast"]
+
+    def test_spare_exhaustion_counts_failures(self):
+        sim = Simulation()
+        drive = Drive(tiny_spec(), cache_enabled=False)
+        faults = MediaFaults(
+            plan_at(drive, (0.0, 10), (0.0, 600)), spare_sectors=1
+        )
+        drive.install_faults(faults)
+        device = BlockDevice(sim, drive, NoopScheduler())
+        scrubber = Scrubber(
+            sim, device, SequentialScrub(), max_passes=1,
+            remediation=RemediationPolicy(),
+        )
+        sim.run(until=scrubber.start())
+        assert scrubber.sectors_remapped == 1
+        assert scrubber.remediation_stats.remap_failures == 1
+        assert faults.active_count == 1

@@ -225,3 +225,65 @@ class TestOptimizerSweepCaching:
         assert optimizer.optimize(0.001, runner=runner) == optimizer.optimize(
             0.001
         )
+
+
+# -- worker-crash resilience -------------------------------------------------
+
+def _flaky(sentinel, value, crash=False):
+    """Dies hard (kills its worker) once, then succeeds on retry."""
+    import os
+
+    if crash and not os.path.exists(sentinel):
+        open(sentinel, "w").close()
+        os._exit(1)
+    return value * 2
+
+
+def _fatal(value, crash=False):
+    """Reproducibly kills its worker when asked to."""
+    import os
+
+    if crash:
+        os._exit(1)
+    return value
+
+
+def _angry(value):
+    raise ValueError(f"no thanks: {value}")
+
+
+class TestWorkerCrashResilience:
+    def test_transient_crash_is_retried_on_fresh_worker(self, tmp_path):
+        sentinel = str(tmp_path / "crashed-once")
+        params = [
+            {"sentinel": sentinel, "value": i, "crash": i == 1}
+            for i in range(4)
+        ]
+        results = SweepRunner(workers=2).map(_flaky, params)
+        assert results == [0, 2, 4, 6]
+
+    def test_reproducible_crash_raises_structured_error(self, tmp_path):
+        from repro.parallel import SweepTaskError
+
+        params = [
+            {"value": 0},
+            {"value": 1, "crash": True},
+            {"value": 2},
+        ]
+        with pytest.raises(SweepTaskError) as excinfo:
+            SweepRunner(workers=2).map(_fatal, params)
+        assert excinfo.value.failures == [(1, {"value": 1, "crash": True})]
+        # The message names the failing task and its parameter set.
+        assert "task 1" in str(excinfo.value)
+        assert "'crash': True" in str(excinfo.value)
+
+    def test_ordinary_exceptions_propagate_unwrapped(self):
+        params = [{"value": 0}, {"value": 1}]
+        with pytest.raises(ValueError, match="no thanks"):
+            SweepRunner(workers=2).map(_angry, params)
+
+    def test_serial_path_is_unaffected(self):
+        results = SweepRunner(workers=0).map(
+            _fatal, [{"value": 3}, {"value": 4}]
+        )
+        assert results == [3, 4]

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.traces import Trace, TraceRecord, read_csv_trace, write_csv_trace
+from repro.traces import (
+    Trace,
+    TraceFormatError,
+    TraceRecord,
+    read_csv_trace,
+    write_csv_trace,
+)
 
 
 def make_trace(**meta):
@@ -136,3 +142,93 @@ class TestCsvIO:
         trace = read_csv_trace(path)
         assert trace.times.tolist() == [1.0, 5.0]
         assert trace.lbns.tolist() == [20, 10]
+
+
+class TestTraceFormatError:
+    """Malformed rows fail with the offending line number in the message."""
+
+    CANONICAL = "# name: t\ntime,lbn,sectors,op\n0.5,100,8,R\n"
+
+    def test_is_a_value_error(self):
+        assert issubclass(TraceFormatError, ValueError)
+
+    def test_wrong_column_count_names_line(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(self.CANONICAL + "1.0,200,8\n")
+        with pytest.raises(TraceFormatError, match=r"t\.csv:4: malformed row"):
+            read_csv_trace(path)
+
+    def test_non_numeric_field_names_line(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(self.CANONICAL + "1.0,200,8,W\n2.0,oops,8,R\n")
+        with pytest.raises(
+            TraceFormatError, match=r"t\.csv:5: non-numeric lbn: 'oops'"
+        ):
+            read_csv_trace(path)
+
+    def test_negative_offset_names_line(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(self.CANONICAL + "1.0,-200,8,W\n")
+        with pytest.raises(TraceFormatError, match=r"t\.csv:4: negative lbn"):
+            read_csv_trace(path)
+
+    def test_non_positive_sectors_names_line(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(self.CANONICAL + "1.0,200,0,W\n")
+        with pytest.raises(
+            TraceFormatError, match=r"t\.csv:4: non-positive sectors"
+        ):
+            read_csv_trace(path)
+
+    def test_unknown_op_names_line(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(self.CANONICAL + "1.0,200,8,X\n")
+        with pytest.raises(
+            TraceFormatError, match=r"t\.csv:4: unknown operation"
+        ):
+            read_csv_trace(path)
+
+    def test_missing_column_names_header_line(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("time,lbn,op\n1.0,200,R\n")
+        with pytest.raises(
+            TraceFormatError, match=r"t\.csv:1: .*missing column 'sectors'"
+        ):
+            read_csv_trace(path)
+
+    def test_bad_capacity_metadata_names_line(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("# capacity_sectors: lots\ntime,lbn,sectors,op\n")
+        with pytest.raises(
+            TraceFormatError, match=r"t\.csv:1: non-numeric capacity_sectors"
+        ):
+            read_csv_trace(path)
+
+    def test_msr_negative_offset_names_line(self, tmp_path):
+        path = tmp_path / "msr.csv"
+        path.write_text(
+            "128166372003061629,src1,1,Read,512000,4096,1500\n"
+            "128166372013061629,src1,1,Write,-512,8192,800\n"
+        )
+        with pytest.raises(
+            TraceFormatError, match=r"msr\.csv:2: negative offset_bytes"
+        ):
+            read_csv_trace(path)
+
+    def test_msr_non_numeric_timestamp_names_line(self, tmp_path):
+        path = tmp_path / "msr.csv"
+        path.write_text(
+            "128166372003061629,src1,1,Read,512000,4096,1500\n"
+            "tick,src1,1,Read,512000,4096,1500\n"
+        )
+        with pytest.raises(
+            TraceFormatError, match=r"msr\.csv:2: non-numeric timestamp"
+        ):
+            read_csv_trace(path)
+
+    def test_good_files_still_parse(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(self.CANONICAL + "1.0,200,8,W\n")
+        trace = read_csv_trace(path)
+        assert len(trace) == 2
+        assert trace.is_write.tolist() == [False, True]

@@ -1,0 +1,1 @@
+"""Developer tooling: pytest plugins and CI helpers (not shipped)."""

@@ -1,0 +1,56 @@
+"""Minimal per-test wall-clock timeout plugin (SIGALRM-based).
+
+The container has no ``pytest-timeout``; this plugin supplies the one
+feature the ``make tier1`` target needs — fail any single test that
+wedges instead of hanging CI forever.  Load it explicitly::
+
+    PYTHONPATH=src:. pytest -p tools.pytest_timeout_lite --lite-timeout 120
+
+Limits apply to the test call phase on the main thread via
+``SIGALRM``/``setitimer``, so this is POSIX-only; on platforms without
+``SIGALRM`` the option degrades to a no-op rather than breaking the
+run.  A fired timeout raises inside the test and is reported as an
+ordinary failure with a ``Timeout`` message.
+"""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+
+class TestTimeout(Exception):
+    """A test exceeded its --lite-timeout budget."""
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("timeout-lite")
+    group.addoption(
+        "--lite-timeout",
+        action="store",
+        type=float,
+        default=0.0,
+        help="per-test timeout in seconds (0 disables; SIGALRM, main thread)",
+    )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    seconds = float(item.config.getoption("--lite-timeout"))
+    if seconds <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def fire(signum, frame):
+        raise TestTimeout(
+            f"{item.nodeid} exceeded the {seconds:g}s per-test timeout"
+        )
+
+    previous = signal.signal(signal.SIGALRM, fire)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
