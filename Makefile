@@ -4,7 +4,7 @@
 PYTHON ?= python
 TIMEOUT ?= 120
 
-.PHONY: tier1 smoke bench check
+.PHONY: tier1 smoke bench bench-telemetry check
 
 # The ROADMAP tier-1 verify, with a per-test wall-clock limit so a
 # wedged test fails fast instead of hanging CI (tools/pytest_timeout_lite).
@@ -18,6 +18,15 @@ tier1:
 smoke:
 	PYTHONPATH=src $(PYTHON) -m repro detect --horizon 1.5 --cylinders 30
 	PYTHONPATH=src:. $(PYTHON) -m pytest -q benchmarks/test_fig_detection.py \
+		-p tools.pytest_timeout_lite --lite-timeout $(TIMEOUT) \
+		-p no:cacheprovider --override-ini testpaths=benchmarks
+
+# Telemetry overhead gate: the NullSink must stay within 5% of the
+# bare kernel on the 1M-event churn workload (writes BENCH_PR3.json),
+# plus a scaled-down pytest pass under the lite-timeout plugin.
+bench-telemetry:
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_telemetry.py
+	PYTHONPATH=src:. $(PYTHON) -m pytest -q benchmarks/test_perf_telemetry.py \
 		-p tools.pytest_timeout_lite --lite-timeout $(TIMEOUT) \
 		-p no:cacheprovider --override-ini testpaths=benchmarks
 

@@ -19,7 +19,9 @@ The library is organised bottom-up:
   sequential/staggered orders, Waiting/AR/Oracle policies, adaptive
   request sizing, the (size, threshold) optimizer, and an MLET model;
 * :mod:`repro.analysis` — the experiment harnesses behind every figure
-  and table.
+  and table;
+* :mod:`repro.telemetry` — blktrace-style tracing, a metrics registry,
+  and Chrome-trace/JSONL exports across the whole stack.
 
 Quickstart::
 
@@ -47,9 +49,10 @@ from repro.faults import (
 )
 from repro.sched import BlockDevice, CFQScheduler, NoopScheduler
 from repro.sim import Simulation
+from repro.telemetry import Recorder, TelemetrySink
 from repro.traces import Trace, generate_trace
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ARPolicy",
@@ -65,12 +68,14 @@ __all__ = [
     "NoopScheduler",
     "OptimalParameters",
     "OraclePolicy",
+    "Recorder",
     "RemediationPolicy",
     "ScrubParameterOptimizer",
     "Scrubber",
     "SequentialScrub",
     "Simulation",
     "StaggeredScrub",
+    "TelemetrySink",
     "Trace",
     "WaitingPolicy",
     "WaitingScrubber",

@@ -22,7 +22,7 @@ parallel sweeps are bit-identical.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.core.policies.device import WaitingScrubber
@@ -154,6 +154,11 @@ class DetectionResult:
     sectors_remapped: int
     bytes_scrubbed: int
     foreground_bytes: int
+    #: Optional telemetry bundle (``{"metrics": snapshot, "events":
+    #: chrome_events}``) when the run recorded one; every value inside
+    #: is a pure function of the simulation, so results stay
+    #: bit-identical across serial and parallel sweeps.
+    telemetry: Optional[dict] = None
 
 
 def _build_algorithm(name: str, regions: int) -> ScrubAlgorithm:
@@ -183,6 +188,7 @@ def run_detection_experiment(
     remediate: bool = True,
     spare_sectors: int = 4096,
     idle_gate: float = 0.010,
+    telemetry=None,
 ) -> DetectionResult:
     """Run one scrub policy against a seeded fault plan for ``horizon`` s.
 
@@ -202,13 +208,17 @@ def run_detection_experiment(
     remediate:
         Enable the split/remap/verify lifecycle (with ``remediation``
         overriding the default :class:`RemediationPolicy`).
+    telemetry:
+        Optional :class:`~repro.telemetry.TelemetrySink` threaded
+        through the whole stack (engine, device, drive, scrubber,
+        remediation).  Recording never perturbs the run.
     """
     if horizon <= 0:
         raise ValueError(f"horizon must be positive: {horizon}")
     plan = build_model(model, **(model_params or {})).generate(
         Drive(spec, cache_enabled=False).total_sectors, horizon, seed
     )
-    sim = Simulation()
+    sim = Simulation(telemetry=telemetry)
     drive = Drive(spec, cache_enabled=cache_enabled)
     faults = MediaFaults(plan, spare_sectors=spare_sectors)
     drive.install_faults(faults)
@@ -280,12 +290,19 @@ def detection_sweep_task(
     cache_bug: Optional[bool] = None,
     foreground: bool = False,
     request_bytes: int = 64 * 1024,
+    collect_telemetry: bool = False,
 ) -> DetectionResult:
     """Picklable sweep task: one detection run on a shrunk preset drive.
 
     ``cache_bug`` forces the ATA ``VERIFY``-from-cache firmware bug on
     or off while keeping the geometry (and therefore the scrub
     schedule) identical — the clean A/B for the Fig. 1 payoff.
+
+    ``collect_telemetry`` records the run with a fresh
+    :class:`~repro.telemetry.Recorder` (wall-clock stats off, so the
+    bundle is deterministic) and attaches its export to the result;
+    fleet-level summaries merge these per-task bundles in input order,
+    preserving serial == parallel bit-identity.
     """
     if drive not in PRESETS:
         raise ValueError(
@@ -294,7 +311,12 @@ def detection_sweep_task(
     spec = shrunk_spec(PRESETS[drive](), cylinders=cylinders)
     if cache_bug is not None:
         spec = spec.with_overrides(ata_verify_cache_bug=cache_bug)
-    return run_detection_experiment(
+    recorder = None
+    if collect_telemetry:
+        from repro.telemetry import Recorder
+
+        recorder = Recorder(wall_time=False)
+    result = run_detection_experiment(
         spec,
         algorithm=algorithm,
         regions=regions,
@@ -305,4 +327,8 @@ def detection_sweep_task(
         cache_enabled=cache_enabled,
         foreground=foreground,
         request_bytes=request_bytes,
+        telemetry=recorder,
     )
+    if recorder is not None:
+        result = replace(result, telemetry=recorder.export())
+    return result

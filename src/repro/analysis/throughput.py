@@ -28,11 +28,17 @@ def standalone_scrub_throughput(
     delay: float = 0.0,
     delay_mode: str = "gap",
     cache_enabled: bool = False,
+    telemetry=None,
 ) -> float:
-    """Scrub throughput (bytes/second) with no foreground workload."""
+    """Scrub throughput (bytes/second) with no foreground workload.
+
+    ``telemetry`` optionally threads a
+    :class:`~repro.telemetry.TelemetrySink` through the run; recording
+    does not change the measured throughput.
+    """
     if horizon <= 0:
         raise ValueError(f"horizon must be positive: {horizon}")
-    sim = Simulation()
+    sim = Simulation(telemetry=telemetry)
     device = BlockDevice(sim, Drive(spec, cache_enabled=cache_enabled), NoopScheduler())
     scrubber = Scrubber(
         sim,

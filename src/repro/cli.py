@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the library's main workflows:
+Seven commands cover the library's main workflows:
 
 * ``generate``  — write a synthetic catalog trace to CSV;
 * ``analyze``   — Section V-A statistics for a trace (idle stats,
@@ -10,7 +10,14 @@ Six commands cover the library's main workflows:
 * ``throughput`` — standalone scrub throughput for an algorithm/size;
 * ``mlet``      — MLET by scrub order under bursty LSEs;
 * ``detect``    — error detection/remediation under injected LSEs,
-  with and without the ATA ``VERIFY`` cache bug.
+  with and without the ATA ``VERIFY`` cache bug;
+* ``trace``     — run a scrub scenario with the telemetry recorder on
+  and export a Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``) plus a metrics summary.
+
+``throughput``, ``detect`` and ``optimize`` also take ``--telemetry``
+(print a metrics summary table) and, where a simulation runs
+in-process, ``--trace-out FILE`` (write the Chrome trace).
 """
 
 from __future__ import annotations
@@ -119,15 +126,15 @@ def cmd_analyze(args) -> int:
     return 0
 
 
-def _build_runner(args):
+def _build_runner(args, telemetry=None):
     """A SweepRunner from --workers/--cache/--cache-dir, or ``None``."""
     from repro.parallel import ResultCache, SweepRunner
 
     use_cache = args.cache or args.cache_dir
-    if not args.workers and not use_cache:
+    if not args.workers and not use_cache and telemetry is None:
         return None
     cache = ResultCache(args.cache_dir or None) if use_cache else None
-    return SweepRunner(workers=args.workers, cache=cache)
+    return SweepRunner(workers=args.workers, cache=cache, telemetry=telemetry)
 
 
 def cmd_optimize(args) -> int:
@@ -150,7 +157,12 @@ def cmd_optimize(args) -> int:
         durations, len(trace), trace.duration, model,
         max_slowdown=args.max_slowdown_ms / 1e3,
     )
-    runner = _build_runner(args)
+    recorder = None
+    if args.telemetry:
+        from repro.telemetry import Recorder
+
+        recorder = Recorder(wall_time=False)
+    runner = _build_runner(args, telemetry=recorder)
     print(f"{'goal':>8}  {'threshold':>10}  {'request':>8}  {'scrub':>10}")
     for goal_ms in args.goals_ms:
         try:
@@ -175,6 +187,10 @@ def cmd_optimize(args) -> int:
             f"sweep cache: {runner.cache.hits} hits, "
             f"{runner.cache.misses} misses ({runner.cache.root})"
         )
+    if recorder is not None:
+        from repro.telemetry import format_table
+
+        print(format_table(recorder.metrics.snapshot(), title="sweep telemetry"))
     return 0
 
 
@@ -187,9 +203,15 @@ def cmd_throughput(args) -> int:
         algorithm = SequentialScrub()
     else:
         algorithm = StaggeredScrub(args.regions)
+    recorder = None
+    if args.telemetry or args.trace_out:
+        from repro.telemetry import Recorder
+
+        recorder = Recorder(wall_time=True)
     rate = standalone_scrub_throughput(
         spec, algorithm, request_bytes=args.request_kb * 1024,
         horizon=args.horizon, delay=args.delay_ms / 1e3,
+        telemetry=recorder,
     )
     full_scan_h = spec.capacity_bytes / rate / 3600 if rate else float("inf")
     print(
@@ -198,6 +220,22 @@ def cmd_throughput(args) -> int:
         f"{args.request_kb} KB requests -> {rate / 1e6:.1f} MB/s "
         f"(full scan in {full_scan_h:.1f} h)"
     )
+    if recorder is not None:
+        from repro.telemetry import format_table, write_chrome_trace
+
+        if args.telemetry:
+            print(format_table(recorder.metrics.snapshot(), title="run telemetry"))
+        if args.trace_out:
+            count = write_chrome_trace(
+                args.trace_out,
+                recorder.chrome_events(
+                    process_name=f"{spec.name}:{args.algorithm}"
+                ),
+            )
+            print(
+                f"wrote {count} trace events to {args.trace_out} "
+                f"(load in Perfetto or chrome://tracing)"
+            )
     return 0
 
 
@@ -250,6 +288,7 @@ def cmd_detect(args) -> int:
             raise SystemExit(
                 f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
             )
+    collect = bool(args.telemetry or args.trace_out)
     param_sets = [
         dict(
             drive=args.drive,
@@ -263,6 +302,7 @@ def cmd_detect(args) -> int:
             cache_enabled=not args.no_cache,
             cache_bug=bug,
             foreground=args.foreground,
+            collect_telemetry=collect,
         )
         for algorithm in args.algorithms
         for bug in (False, True)
@@ -290,6 +330,150 @@ def cmd_detect(args) -> int:
             f"{m.cache_mask_events:>8}{m.missed_due_to_cache:>8}"
             f"{m.remapped:>7}{mttd}  {lifecycle}"
         )
+    if args.telemetry:
+        from repro.telemetry import format_table
+
+        fleet = SweepRunner.merge_task_telemetry(results)
+        print(
+            format_table(
+                fleet, title=f"fleet telemetry ({len(results)} runs, merged)"
+            )
+        )
+    if args.trace_out:
+        from repro.telemetry import with_pid, write_chrome_trace
+
+        events = []
+        for pid, (params, result) in enumerate(zip(param_sets, results)):
+            if result.telemetry is None:
+                continue
+            verify = "cached" if params["cache_bug"] else "media"
+            events.extend(
+                with_pid(
+                    result.telemetry["events"],
+                    pid=pid,
+                    process_name=f"{params['algorithm']} verify={verify}",
+                )
+            )
+        count = write_chrome_trace(args.trace_out, events)
+        print(
+            f"wrote {count} trace events ({len(results)} runs) to "
+            f"{args.trace_out} (load in Perfetto or chrome://tracing)"
+        )
+    return 0
+
+
+def cmd_trace(args) -> int:
+    if args.trace and args.synthetic:
+        print(
+            "repro trace: --trace and --synthetic are both foreground "
+            "sources and are mutually exclusive; pass at most one "
+            "(or use --foreground for a closed-loop random reader).",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.analysis.detection import shrunk_spec
+    from repro.core import SequentialScrub, StaggeredScrub
+    from repro.core.policies.device import WaitingScrubber
+    from repro.core.scrubber import Scrubber
+    from repro.disk.drive import Drive
+    from repro.faults import MediaFaults, RemediationPolicy, build_model
+    from repro.sched.cfq import CFQScheduler
+    from repro.sched.device import BlockDevice
+    from repro.sched.noop import NoopScheduler
+    from repro.sched.request import PriorityClass
+    from repro.sim import RandomStreams, Simulation
+    from repro.telemetry import Recorder, format_table, write_chrome_trace
+    from repro.telemetry.export import (
+        error_log_records,
+        request_log_records,
+        write_jsonl,
+    )
+    from repro.workloads.replay import TraceReplayer
+    from repro.workloads.synthetic import RandomReader
+
+    spec = _drive_spec(args.drive)
+    if args.cylinders:
+        spec = shrunk_spec(spec, cylinders=args.cylinders)
+
+    recorder = Recorder(wall_time=True)
+    sim = Simulation(telemetry=recorder)
+    drive = Drive(spec, cache_enabled=not args.no_cache)
+    faults = None
+    if args.inject:
+        plan = build_model(
+            "bursts",
+            inter_burst_mean=args.burst_mean,
+            in_burst_time_mean=args.burst_mean / 50.0,
+        ).generate(drive.total_sectors, args.horizon, args.seed)
+        faults = MediaFaults(plan)
+        drive.install_faults(faults)
+    scheduler = (
+        NoopScheduler() if args.algorithm == "waiting" else CFQScheduler()
+    )
+    device = BlockDevice(
+        sim, drive, scheduler, max_log_records=args.max_log_records
+    )
+
+    if args.trace or args.synthetic:
+        TraceReplayer(sim, device, _load_trace(args).records()).start()
+    elif args.foreground:
+        streams = RandomStreams(seed=args.seed)
+        RandomReader(
+            sim, device, streams.get("foreground"),
+            think_mean=args.think_ms / 1e3,
+        ).start()
+
+    if args.algorithm == "staggered":
+        algorithm = StaggeredScrub(regions=args.regions)
+    else:
+        algorithm = SequentialScrub()
+    remediation = RemediationPolicy() if args.inject else None
+    if args.algorithm == "waiting":
+        scrubber = WaitingScrubber(
+            sim, device, algorithm,
+            request_bytes=args.request_kb * 1024,
+            remediation=remediation,
+        )
+    else:
+        scrubber = Scrubber(
+            sim, device, algorithm,
+            request_bytes=args.request_kb * 1024,
+            priority=PriorityClass.IDLE,
+            remediation=remediation,
+        )
+    process = scrubber.start()
+    sim.run(until=args.horizon)
+    if process.is_alive:
+        # Drain in-flight scrub work so no request is left mid-lifecycle.
+        scrubber.request_stop()
+        sim.run(until=process)
+    if faults is not None:
+        faults.finalize(args.horizon)
+
+    count = write_chrome_trace(
+        args.out,
+        recorder.chrome_events(process_name=f"{spec.name}:{args.algorithm}"),
+    )
+    print(format_table(recorder.metrics.snapshot(), title="run telemetry"))
+    print(
+        f"wrote {count} trace events to {args.out} "
+        f"(load in Perfetto or chrome://tracing)"
+    )
+    if device.log.dropped:
+        print(
+            f"request log ring buffer dropped {device.log.dropped} oldest "
+            f"records (raise --max-log-records to keep more)"
+        )
+    if args.jsonl:
+        written = write_jsonl(
+            f"{args.jsonl}.requests.jsonl", request_log_records(device.log)
+        )
+        print(f"wrote {written} request records to {args.jsonl}.requests.jsonl")
+        if faults is not None:
+            written = write_jsonl(
+                f"{args.jsonl}.errors.jsonl", error_log_records(faults.log)
+            )
+            print(f"wrote {written} error records to {args.jsonl}.errors.jsonl")
     return 0
 
 
@@ -341,6 +525,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None,
         help="cache directory (implies --cache)",
     )
+    optimize.add_argument(
+        "--telemetry", action="store_true",
+        help="print a sweep-telemetry metrics table after the results",
+    )
     optimize.set_defaults(func=cmd_optimize)
 
     throughput = sub.add_parser("throughput", help="standalone scrub throughput")
@@ -352,10 +540,30 @@ def build_parser() -> argparse.ArgumentParser:
     throughput.add_argument("--request-kb", type=int, default=64)
     throughput.add_argument("--delay-ms", type=float, default=0.0)
     throughput.add_argument("--horizon", type=float, default=10.0)
+    throughput.add_argument(
+        "--telemetry", action="store_true",
+        help="print a metrics summary table for the run",
+    )
+    throughput.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write a Chrome trace-event JSON of the run",
+    )
     throughput.set_defaults(func=cmd_throughput)
 
     detect = sub.add_parser(
-        "detect", help="LSE detection/remediation lifecycle per scrub policy"
+        "detect", help="LSE detection/remediation lifecycle per scrub policy",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "cache-bug interaction:\n"
+            "  Each policy is always run twice, as a built-in A/B over the\n"
+            "  ATA VERIFY-from-cache firmware bug (paper Fig. 1): the\n"
+            "  'verify=media' row forces the bug off, 'verify=cached'\n"
+            "  forces it on, with identical geometry and scrub schedule.\n"
+            "  --no-drive-cache disables the drive cache itself, which\n"
+            "  suppresses the bug's masking channel on BOTH rows — use it\n"
+            "  to confirm the masked/missed columns go to zero, not to\n"
+            "  pick one side of the A/B."
+        ),
     )
     detect.add_argument("--drive", default="caviar")
     detect.add_argument(
@@ -399,7 +607,82 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument(
         "--cache-dir", default=None, help="cache directory (implies --cache)"
     )
+    detect.add_argument(
+        "--telemetry", action="store_true",
+        help="record every run and print a merged fleet metrics table",
+    )
+    detect.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write one Chrome trace JSON with a process row per run",
+    )
     detect.set_defaults(func=cmd_detect)
+
+    trace = sub.add_parser(
+        "trace",
+        help="record a scrub scenario and export a Chrome trace + metrics",
+    )
+    trace.add_argument("--drive", default="ultrastar")
+    trace.add_argument(
+        "--cylinders", type=int, default=0,
+        help="shrink the drive to this many cylinders (0 = full geometry; "
+        "shrinking makes --inject runs finish whole passes quickly)",
+    )
+    trace.add_argument(
+        "--algorithm", choices=("sequential", "staggered", "waiting"),
+        default="sequential",
+    )
+    trace.add_argument("--regions", type=int, default=16)
+    trace.add_argument("--request-kb", type=int, default=64)
+    trace.add_argument("--horizon", type=float, default=2.0)
+    trace.add_argument("--seed", type=int, default=0)
+    # Foreground sources: checked by hand in cmd_trace (not an argparse
+    # group) so the conflict produces a clear message and exit code 2.
+    trace.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="replay this CSV trace as the foreground workload",
+    )
+    trace.add_argument(
+        "--synthetic", metavar="NAME", default=None,
+        help="replay a synthetic catalog trace as the foreground workload",
+    )
+    trace.add_argument(
+        "--duration", type=float, default=60.0,
+        help="synthetic foreground trace length in seconds",
+    )
+    trace.add_argument(
+        "--foreground", action="store_true",
+        help="run a closed-loop random reader alongside the scrubber",
+    )
+    trace.add_argument(
+        "--think-ms", type=float, default=50.0,
+        help="mean think time of the --foreground reader",
+    )
+    trace.add_argument(
+        "--inject", action="store_true",
+        help="inject bursty latent sector errors and enable remediation",
+    )
+    trace.add_argument(
+        "--burst-mean", type=float, default=0.5,
+        help="mean seconds between injected error bursts",
+    )
+    trace.add_argument(
+        "--no-drive-cache", dest="no_cache", action="store_true",
+        help="disable the drive cache",
+    )
+    trace.add_argument(
+        "--max-log-records", type=int, default=None,
+        help="cap the request log as a ring buffer of this many records",
+    )
+    trace.add_argument(
+        "--out", "-o", default="trace.json",
+        help="Chrome trace-event JSON output path (default trace.json)",
+    )
+    trace.add_argument(
+        "--jsonl", metavar="PREFIX", default=None,
+        help="also write PREFIX.requests.jsonl (and PREFIX.errors.jsonl "
+        "with --inject) for offline analysis",
+    )
+    trace.set_defaults(func=cmd_trace)
 
     mlet = sub.add_parser("mlet", help="MLET by scrub order under bursty LSEs")
     mlet.add_argument("--drive", default="ultrastar")

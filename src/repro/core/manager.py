@@ -51,6 +51,14 @@ class ScrubManager:
         self.sim = sim
         self.algorithm_factory = algorithm_factory
         self._slots: Dict[str, _Slot] = {}
+        sink = sim.telemetry
+        self._telemetry = sink if sink is not None and sink.enabled else None
+
+    def _record(self, event: str, device: str) -> None:
+        self._telemetry.instant(
+            self.sim.now, "manager", event, {"device": device}
+        )
+        self._telemetry.metrics.gauge("manager.devices").set(len(self._slots))
 
     # -- hotplug ----------------------------------------------------------------
     def register(self, name: str, device: BlockDevice) -> None:
@@ -58,6 +66,8 @@ class ScrubManager:
         if name in self._slots:
             raise ValueError(f"device {name!r} already registered")
         self._slots[name] = _Slot(device=device)
+        if self._telemetry is not None:
+            self._record("register", name)
 
     def unregister(self, name: str) -> None:
         """A device disappeared; any active scrubber is stopped."""
@@ -65,6 +75,8 @@ class ScrubManager:
         if slot.scrubber is not None:
             slot.scrubber.stop()
         del self._slots[name]
+        if self._telemetry is not None:
+            self._record("unregister", name)
 
     @property
     def devices(self) -> List[str]:
@@ -102,6 +114,8 @@ class ScrubManager:
         )
         scrubber.start()
         slot.scrubber = scrubber
+        if self._telemetry is not None:
+            self._record("activate", name)
         return scrubber
 
     def deactivate(self, name: str) -> None:
@@ -109,6 +123,8 @@ class ScrubManager:
         slot = self._slot(name)
         if slot.scrubber is not None:
             slot.scrubber.stop()
+            if self._telemetry is not None:
+                self._record("deactivate", name)
 
     def is_active(self, name: str) -> bool:
         slot = self._slot(name)

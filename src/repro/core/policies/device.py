@@ -84,6 +84,8 @@ class WaitingScrubber:
         self._activity = sim.event()
         self._process: Optional[Process] = None
         self._draining = False
+        sink = sim.telemetry
+        self._telemetry = sink if sink is not None and sink.enabled else None
 
     # -- lifecycle --------------------------------------------------------------
     def start(self) -> Process:
@@ -92,6 +94,8 @@ class WaitingScrubber:
         self._draining = False
         self.device.observers.append(self._observe)
         self.algorithm.reset(self.device.drive.total_sectors, self.request_sectors)
+        if self._telemetry is not None:
+            self._telemetry.scrub_pass_started(self.sim.now, self.source, 0)
         self._process = self.sim.process(self._run())
         return self._process
 
@@ -160,8 +164,17 @@ class WaitingScrubber:
                         break
                     lbn, sectors = self._next_extent()
                     request = yield self._submit_verify(lbn, sectors)
+                    if self._telemetry is not None:
+                        self._report_progress()
                     if request.breakdown.status is CommandStatus.MEDIUM_ERROR:
                         self.errors_seen += 1
+                        if self._telemetry is not None:
+                            self._telemetry.fault_event(
+                                sim.now,
+                                "scrub_detection",
+                                request.breakdown.error_lbn,
+                                source=self.source,
+                            )
                         if self.remediation is not None:
                             yield from remediate_extent(
                                 sim,
@@ -187,13 +200,33 @@ class WaitingScrubber:
         """Bad sectors this scrubber localised, remapped and re-verified."""
         return self.remediation_stats.sectors_remapped
 
+    def _report_progress(self) -> None:
+        pass_bytes = self.device.drive.total_sectors * SECTOR_SIZE
+        within = self.bytes_scrubbed - self.passes_completed * pass_bytes
+        self._telemetry.scrub_progress(
+            self.sim.now,
+            self.source,
+            min(1.0, within / pass_bytes) if pass_bytes else 1.0,
+        )
+
     def _next_extent(self):
         extent = self.algorithm.next_extent()
         if extent is None:
             self.passes_completed += 1
+            if self._telemetry is not None:
+                self._telemetry.scrub_pass_completed(
+                    self.sim.now,
+                    self.source,
+                    self.passes_completed - 1,
+                    self.bytes_scrubbed,
+                )
             self.algorithm.reset(
                 self.device.drive.total_sectors, self.request_sectors
             )
+            if self._telemetry is not None:
+                self._telemetry.scrub_pass_started(
+                    self.sim.now, self.source, self.passes_completed
+                )
             extent = self.algorithm.next_extent()
             if extent is None:
                 raise RuntimeError("scrub algorithm yielded an empty pass")

@@ -131,6 +131,8 @@ class Scrubber:
         self.remediation_stats = RemediationStats()
         self._process: Optional[Process] = None
         self._draining = False
+        sink = sim.telemetry
+        self._telemetry = sink if sink is not None and sink.enabled else None
 
     def start(self) -> Process:
         """Activate scrubbing for this device."""
@@ -166,9 +168,15 @@ class Scrubber:
     # -- the scrubber thread ----------------------------------------------------
     def _run(self):
         total = self.device.drive.total_sectors
+        sink = self._telemetry
+        pass_bytes = total * SECTOR_SIZE
         try:
             while self.max_passes is None or self.passes_completed < self.max_passes:
                 self.algorithm.reset(total, self.request_sectors)
+                if sink is not None:
+                    sink.scrub_pass_started(
+                        self.sim.now, self.source, self.passes_completed
+                    )
                 while True:
                     if self._draining:
                         return
@@ -177,8 +185,24 @@ class Scrubber:
                         break
                     issue_time = self.sim.now
                     request = yield self._verify(*extent)
+                    if sink is not None:
+                        within = self.bytes_scrubbed - (
+                            self.passes_completed * pass_bytes
+                        )
+                        sink.scrub_progress(
+                            self.sim.now,
+                            self.source,
+                            min(1.0, within / pass_bytes) if pass_bytes else 1.0,
+                        )
                     if request.breakdown.status is CommandStatus.MEDIUM_ERROR:
                         self.errors_seen += 1
+                        if sink is not None:
+                            sink.fault_event(
+                                self.sim.now,
+                                "scrub_detection",
+                                request.breakdown.error_lbn,
+                                source=self.source,
+                            )
                         if self.remediation is not None:
                             yield from remediate_extent(
                                 self.sim,
@@ -197,6 +221,13 @@ class Scrubber:
                             if due > self.sim.now:
                                 yield self.sim.timeout(due - self.sim.now)
                 self.passes_completed += 1
+                if sink is not None:
+                    sink.scrub_pass_completed(
+                        self.sim.now,
+                        self.source,
+                        self.passes_completed - 1,
+                        self.bytes_scrubbed,
+                    )
         except Interrupt:
             return
 

@@ -91,6 +91,7 @@ class Drive:
         spec: DriveSpec,
         cache_enabled: bool = True,
         faults: Optional["MediaFaults"] = None,
+        telemetry=None,
     ) -> None:
         self.spec = spec
         self.geometry = DiskGeometry.zoned(
@@ -120,6 +121,13 @@ class Drive:
         self.head_cylinder = 0
         self._last_issue_time = float("-inf")
         self.commands_serviced = 0
+        #: Optional telemetry sink; meters every serviced command.  A
+        #: :class:`~repro.sched.device.BlockDevice` installs its
+        #: simulation's sink here automatically; standalone users (the
+        #: service-model measurements) may pass one explicitly.
+        self.telemetry = (
+            telemetry if telemetry is not None and telemetry.enabled else None
+        )
 
     # -- properties ----------------------------------------------------------
     @property
@@ -180,11 +188,14 @@ class Drive:
         self._last_issue_time = now
         self.commands_serviced += 1
 
+        breakdown = None
         if self._uses_cache_path(command):
-            hit = self._try_cache(command, now)
-            if hit is not None:
-                return hit
-        return self._media_access(command, now)
+            breakdown = self._try_cache(command, now)
+        if breakdown is None:
+            breakdown = self._media_access(command, now)
+        if self.telemetry is not None:
+            self.telemetry.drive_serviced(command, breakdown)
+        return breakdown
 
     # -- internals -------------------------------------------------------------
     def _uses_cache_path(self, command: DiskCommand) -> bool:

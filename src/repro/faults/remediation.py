@@ -97,6 +97,9 @@ def remediate_extent(
     that primitive).  The caller invokes this with ``yield from`` after
     a top-level scrub verify came back ``MEDIUM_ERROR``.
     """
+    sink = sim.telemetry
+    if sink is not None and not sink.enabled:
+        sink = None
     # Depth-first in LBN order: (lbn, sectors, depth, known_bad); the
     # right half is pushed first so the left half pops first.  The
     # caller's failing verify already condemned the initial extent, so
@@ -109,6 +112,15 @@ def remediate_extent(
                 yield sim.timeout(policy.delay_at(depth))
             request = yield submit_verify(lbn, sectors)
             stats.split_verifies += 1
+            if sink is not None:
+                sink.fault_event(
+                    sim.now,
+                    "split_verify",
+                    lbn,
+                    sectors=sectors,
+                    depth=depth,
+                    bad=request.breakdown.status is CommandStatus.MEDIUM_ERROR,
+                )
             if request.breakdown.status is not CommandStatus.MEDIUM_ERROR:
                 continue  # clean (or cache-masked — the drive cannot tell)
         if sectors == 1:
@@ -124,11 +136,18 @@ def remediate_extent(
 def _remap_sector(sim, device, lbn, policy, submit_verify, stats):
     """Reallocate one sector, then verify the remap took."""
     faults = device.drive.faults
+    sink = sim.telemetry
+    if sink is not None and not sink.enabled:
+        sink = None
     if policy.remap_time > 0:
         yield sim.timeout(policy.remap_time)
     if faults is None or not faults.reallocate(lbn, sim.now):
         stats.remap_failures += 1
+        if sink is not None:
+            sink.fault_event(sim.now, "remap_failed", lbn)
         return
+    if sink is not None:
+        sink.fault_event(sim.now, "remap", lbn)
     if not policy.verify_after_remap:
         stats.sectors_remapped += 1
         stats.remapped_lbns.append(lbn)
@@ -138,6 +157,10 @@ def _remap_sector(sim, device, lbn, policy, submit_verify, stats):
         stats.split_verifies += 1
         ok = request.breakdown.status is not CommandStatus.MEDIUM_ERROR
         faults.log.record_verify_after_remap(sim.now, lbn, ok=ok)
+        if sink is not None:
+            sink.fault_event(
+                sim.now, "verify_after_remap", lbn, ok=ok, attempt=attempt
+            )
         if ok:
             stats.sectors_remapped += 1
             stats.remapped_lbns.append(lbn)

@@ -99,6 +99,7 @@ class SweepRunner:
         workers: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         base_seed: Optional[int] = None,
+        telemetry=None,
     ) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
@@ -109,6 +110,12 @@ class SweepRunner:
         self.base_seed = base_seed
         #: Tasks actually executed (cache misses) over this runner's life.
         self.executed = 0
+        #: Optional telemetry sink metering the sweep itself (tasks
+        #: mapped/executed/cache-served).  Task-internal telemetry rides
+        #: inside the results — see :meth:`merge_task_telemetry`.
+        self.telemetry = (
+            telemetry if telemetry is not None and telemetry.enabled else None
+        )
 
     @property
     def cache_hits(self) -> int:
@@ -212,4 +219,35 @@ class SweepRunner:
             results[index] = value
             if self.cache is not None and key is not None:
                 self.cache.put(key, value)
+        if self.telemetry is not None:
+            metrics = self.telemetry.metrics
+            metrics.counter("parallel.tasks").inc(len(tasks))
+            metrics.counter("parallel.executed").inc(len(outcomes))
+            metrics.counter("parallel.cache_served").inc(
+                len(tasks) - len(pending)
+            )
+            metrics.gauge("parallel.workers").set(self.workers)
         return results
+
+    @staticmethod
+    def merge_task_telemetry(results: Sequence[Any]) -> dict:
+        """Fleet-level metrics summary from per-task result telemetry.
+
+        Each result may carry a ``telemetry`` attribute (or key) holding
+        ``{"metrics": <snapshot>, ...}`` — the bundle
+        :meth:`repro.telemetry.Recorder.export` produces.  Snapshots are
+        merged in **input order**, and
+        :func:`~repro.telemetry.metrics.merge_snapshots` is
+        order-independent besides, so the summary of a parallel sweep is
+        bit-identical to the serial one.
+        """
+        from repro.telemetry.metrics import merge_snapshots
+
+        snapshots = []
+        for result in results:
+            bundle = getattr(result, "telemetry", None)
+            if bundle is None and isinstance(result, dict):
+                bundle = result.get("telemetry")
+            if bundle:
+                snapshots.append(bundle.get("metrics"))
+        return merge_snapshots(snapshots)

@@ -5,10 +5,18 @@ scheduler for the next request, runs it on the (single-server) drive,
 and fires the request's completion event.  Every completed request is
 appended to a :class:`RequestLog` for analysis — the logs are the raw
 material for all of the paper's throughput and response-time figures.
+
+When the owning simulation carries an enabled telemetry sink
+(``sim.telemetry``), the device reports the blktrace-style lifecycle of
+every request to it — queued at :meth:`BlockDevice.submit`, dispatched
+when the dispatcher hands it to the drive, completed with the drive's
+service breakdown — and installs the sink on the drive so per-command
+mechanics are metered too.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Iterable, List, Optional
 
 import numpy as np
@@ -20,12 +28,30 @@ from repro.sim import AnyOf, Event, Simulation
 
 
 class RequestLog:
-    """Completed-request archive with aggregate accessors."""
+    """Completed-request archive with aggregate accessors.
 
-    def __init__(self) -> None:
-        self._records: List[IORequest] = []
+    Parameters
+    ----------
+    max_records:
+        ``None`` (default) keeps every completed request, the historical
+        behaviour.  A positive value switches to a ring buffer holding
+        the most recent ``max_records`` requests — long trace-replay
+        runs stay bounded in memory; :attr:`dropped` counts evictions.
+    """
+
+    def __init__(self, max_records: Optional[int] = None) -> None:
+        if max_records is not None and max_records <= 0:
+            raise ValueError(f"max_records must be positive: {max_records}")
+        self.max_records = max_records
+        self._records = (
+            [] if max_records is None else deque(maxlen=max_records)
+        )
+        #: Requests evicted by the ring buffer (0 in unbounded mode).
+        self.dropped = 0
 
     def add(self, request: IORequest) -> None:
+        if self.max_records is not None and len(self._records) == self.max_records:
+            self.dropped += 1
         self._records.append(request)
 
     def __len__(self) -> int:
@@ -76,12 +102,22 @@ class BlockDevice:
     """
 
     def __init__(
-        self, sim: Simulation, drive: Drive, scheduler: IOSchedulerBase
+        self,
+        sim: Simulation,
+        drive: Drive,
+        scheduler: IOSchedulerBase,
+        max_log_records: Optional[int] = None,
     ) -> None:
         self.sim = sim
         self.drive = drive
         self.scheduler = scheduler
-        self.log = RequestLog()
+        self.log = RequestLog(max_records=max_log_records)
+        #: Enabled telemetry sink from the simulation, or ``None``; the
+        #: single ``is not None`` guard keeps disabled telemetry free.
+        sink = sim.telemetry
+        self.telemetry = sink if sink is not None and sink.enabled else None
+        if self.telemetry is not None and drive.telemetry is None:
+            drive.telemetry = self.telemetry
         #: Callables ``(kind, request, now)`` invoked on "submit" and
         #: "complete" — used by self-scheduling components (e.g. the
         #: Waiting scrubber) to watch foreground activity.
@@ -100,6 +136,8 @@ class BlockDevice:
         request.stamp_submit(self.sim.now)
         request.completion = self.sim.event()
         self.scheduler.add(request, self.sim.now)
+        if self.telemetry is not None:
+            self.telemetry.request_queued(self.sim.now, request)
         for observer in self.observers:
             observer("submit", request, self.sim.now)
         self._kick()
@@ -144,6 +182,8 @@ class BlockDevice:
 
             request.dispatch_time = sim.now
             self.scheduler.on_dispatch(request, sim.now)
+            if self.telemetry is not None:
+                self.telemetry.request_dispatched(sim.now, request)
             breakdown = self.drive.service(request.command, sim.now)
             self.busy = True
             self.busy_since = sim.now
@@ -166,6 +206,8 @@ class BlockDevice:
                 )
             self.scheduler.on_complete(request, sim.now)
             self.log.add(request)
+            if self.telemetry is not None:
+                self.telemetry.request_completed(sim.now, request)
             for observer in self.observers:
                 observer("complete", request, sim.now)
             request.completion.succeed(request)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import gc
 import heapq
+import time
 from functools import partial
 from typing import Any, Generator, Optional
 
@@ -67,9 +68,9 @@ class Simulation:
     3.0
     """
 
-    __slots__ = ("_now", "_queue", "_seq", "_active_process", "timeout")
+    __slots__ = ("_now", "_queue", "_seq", "_active_process", "timeout", "telemetry")
 
-    def __init__(self, start: float = 0.0) -> None:
+    def __init__(self, start: float = 0.0, telemetry=None) -> None:
         self._now = float(start)
         self._queue: list = []
         self._seq = 0
@@ -79,6 +80,12 @@ class Simulation:
         #: ``partial`` so the hottest event factory skips one Python
         #: frame per call.
         self.timeout = partial(Timeout, self)
+        #: Optional :class:`~repro.telemetry.sink.TelemetrySink`.
+        #: Instrumented components (block devices, scrubbers, ...) pick
+        #: it up from here, so one constructor argument threads
+        #: observability through the whole stack.  ``None`` or a
+        #: disabled sink leaves the hot event loop untouched.
+        self.telemetry = telemetry
 
     @property
     def now(self) -> float:
@@ -171,7 +178,13 @@ class Simulation:
                 heapq.heappush(
                     self._queue, (deadline, self._seq - URGENT_BIAS, marker)
                 )
-        # Hot loop: step() inlined with everything bound to locals.
+        # Hot loop: step() inlined with everything bound to locals.  A
+        # telemetry sink selects the instrumented twin of the loop once
+        # per run() call — the disabled path is byte-for-byte the PR 1
+        # fast path, so a NullSink (or no sink) costs nothing per event.
+        sink = self.telemetry
+        if sink is not None and not sink.enabled:
+            sink = None
         queue = self._queue
         heappop = heapq.heappop
         processed = _PROCESSED
@@ -180,20 +193,23 @@ class Simulation:
             gc.disable()
         try:
             try:
-                while queue:
-                    item = heappop(queue)
-                    self._now = item[0]
-                    event = item[2]
-                    callbacks = event._callbacks
-                    event._callbacks = processed
-                    if callbacks is not None:
-                        if callbacks.__class__ is list:
-                            for callback in callbacks:
-                                callback(event)
-                        else:
-                            callbacks(event)
-                    if not event._ok and not event._defused:
-                        raise event._value
+                if sink is None:
+                    while queue:
+                        item = heappop(queue)
+                        self._now = item[0]
+                        event = item[2]
+                        callbacks = event._callbacks
+                        event._callbacks = processed
+                        if callbacks is not None:
+                            if callbacks.__class__ is list:
+                                for callback in callbacks:
+                                    callback(event)
+                            else:
+                                callbacks(event)
+                        if not event._ok and not event._defused:
+                            raise event._value
+                else:
+                    self._run_instrumented(sink)
             except StopSimulation as stop:
                 return stop.args[0] if stop.args else None
         finally:
@@ -205,3 +221,37 @@ class Simulation:
                 "simulation ran out of events before the awaited event fired"
             )
         return stop_value
+
+    def _run_instrumented(self, sink) -> None:
+        """The run() hot loop plus telemetry: semantically identical event
+        processing, with a popped-event count and wall-clock duration
+        reported to ``sink.engine_run`` on exit (normal, ``until``, or
+        exception).  Telemetry only observes — it never schedules,
+        reorders, or consumes randomness — so a run records the same
+        event sequence with or without it.
+        """
+        queue = self._queue
+        heappop = heapq.heappop
+        processed = _PROCESSED
+        events = 0
+        wall_start = time.perf_counter()
+        try:
+            while queue:
+                item = heappop(queue)
+                self._now = item[0]
+                event = item[2]
+                callbacks = event._callbacks
+                event._callbacks = processed
+                events += 1
+                if callbacks is not None:
+                    if callbacks.__class__ is list:
+                        for callback in callbacks:
+                            callback(event)
+                    else:
+                        callbacks(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+        finally:
+            sink.engine_run(
+                events, self._now, time.perf_counter() - wall_start
+            )

@@ -1,0 +1,90 @@
+"""Offline export: request and error logs as JSON Lines.
+
+One JSON object per line, so detection runs can be post-processed with
+standard streaming tools (``jq``, pandas ``read_json(lines=True)``,
+``grep``) without loading a whole run into memory.  The shared writer
+:func:`write_jsonl` takes any iterable of dicts; the two adapters below
+flatten the simulator's in-memory logs:
+
+* :func:`request_log_records` — one record per completed I/O in a
+  :class:`~repro.sched.device.RequestLog`, with blktrace-style
+  queue/dispatch/complete timestamps and the drive's service breakdown;
+* :func:`error_log_records` — one record per
+  :class:`~repro.faults.log.ErrorRecord` lifecycle step.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, Iterable, Iterator, Union
+
+__all__ = [
+    "error_log_records",
+    "request_log_records",
+    "write_jsonl",
+]
+
+
+def write_jsonl(
+    destination: Union[str, IO[str]], records: Iterable[Dict]
+) -> int:
+    """Write ``records`` one-JSON-object-per-line; returns the count.
+
+    Keys are written in insertion order (the adapters emit a stable
+    order), so identical runs produce byte-identical files.
+    """
+    count = 0
+    if hasattr(destination, "write"):
+        for record in records:
+            destination.write(json.dumps(record) + "\n")
+            count += 1
+        return count
+    with open(destination, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+def request_log_records(log) -> Iterator[Dict]:
+    """Flatten a :class:`~repro.sched.device.RequestLog` to dicts."""
+    for request in log.requests():
+        breakdown = request.breakdown
+        record: Dict = {
+            "submit": request.submit_time,
+            "dispatch": request.dispatch_time,
+            "complete": request.complete_time,
+            "opcode": request.command.opcode.value,
+            "lbn": request.command.lbn,
+            "sectors": request.command.sectors,
+            "bytes": request.bytes,
+            "priority": request.priority.name,
+            "source": request.source,
+        }
+        if breakdown is not None:
+            record.update(
+                status=breakdown.status.name,
+                cache_hit=breakdown.cache_hit,
+                seek_s=breakdown.seek,
+                rotation_s=breakdown.rotation,
+                transfer_s=breakdown.transfer,
+            )
+            if breakdown.error_lbn is not None:
+                record["error_lbn"] = breakdown.error_lbn
+        yield record
+
+
+def error_log_records(log) -> Iterator[Dict]:
+    """Flatten a :class:`~repro.faults.log.ErrorLog` to dicts."""
+    for record in log.records:
+        row: Dict = {
+            "time": record.time,
+            "kind": record.kind.value,
+            "lbn": record.lbn,
+        }
+        if record.source:
+            row["source"] = record.source
+        if record.opcode:
+            row["opcode"] = record.opcode
+        row["ok"] = record.ok
+        yield row
