@@ -4,7 +4,7 @@
 PYTHON ?= python
 TIMEOUT ?= 120
 
-.PHONY: tier1 smoke bench bench-telemetry check
+.PHONY: tier1 smoke bench bench-telemetry bench-replay check
 
 # The ROADMAP tier-1 verify, with a per-test wall-clock limit so a
 # wedged test fails fast instead of hanging CI (tools/pytest_timeout_lite).
@@ -27,6 +27,16 @@ smoke:
 bench-telemetry:
 	PYTHONPATH=src $(PYTHON) benchmarks/perf_telemetry.py
 	PYTHONPATH=src:. $(PYTHON) -m pytest -q benchmarks/test_perf_telemetry.py \
+		-p tools.pytest_timeout_lite --lite-timeout $(TIMEOUT) \
+		-p no:cacheprovider --override-ini testpaths=benchmarks
+
+# Zero-copy replay gate: the batched/shared-memory replay path must
+# beat the legacy per-record/pickling path by 2x (Fig. 7 grid) and 4x
+# (8-task detection sweep) with bit-identical results (writes
+# BENCH_PR4.json), plus a scaled-down pytest pass.
+bench-replay:
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_replay.py
+	PYTHONPATH=src:. $(PYTHON) -m pytest -q benchmarks/test_perf_replay.py \
 		-p tools.pytest_timeout_lite --lite-timeout $(TIMEOUT) \
 		-p no:cacheprovider --override-ini testpaths=benchmarks
 

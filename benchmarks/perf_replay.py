@@ -1,0 +1,272 @@
+"""Zero-copy replay benchmark -> ``BENCH_PR4.json``.
+
+Two wall-clock A/B phases pit the accelerated replay path against the
+seed implementation, asserting bit-identical results before any
+timing is reported:
+
+* **fig7** — a Fig. 7-style three-configuration slowdown grid (CFQ
+  sequential, CFQ staggered, Waiting) over a multi-hour trace cut by a
+  short horizon.  Legacy = per-record generator feed plus a no-scrub
+  baseline recomputed inside every task; new = batched array cursor
+  plus the memoized baseline.  Gate: **>= 2x**.
+* **detect** — an eight-task latent-error detection sweep fanned out
+  through :class:`~repro.parallel.runner.SweepRunner` with the same
+  trace as foreground load.  Legacy = the whole trace pickled to every
+  worker and materialized record-by-record; new = one shared-memory
+  export, zero-copy attach, lazy block conversion of only the horizon
+  prefix.  Gate: **>= 4x**.
+
+Timings use ``time.perf_counter`` (wall clock — the detect phase spends
+its budget in worker processes) with min-of-N interleaved repetitions.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_replay.py [--scale 0.1]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro import __version__  # noqa: E402
+from repro.analysis.detection import detection_sweep_task  # noqa: E402
+from repro.analysis.impact import ScrubberSetup  # noqa: E402
+from repro.analysis.replay_cdf import (  # noqa: E402
+    clear_baseline_memo,
+    replay_slowdown_task,
+)
+from repro.parallel import SweepRunner  # noqa: E402
+from repro.traces import generate_trace  # noqa: E402
+
+#: ISSUE 4 acceptance floors (wall-clock speedup, new vs legacy).
+FIG7_SPEEDUP_TARGET = 2.0
+DETECT_SPEEDUP_TARGET = 4.0
+
+#: The Fig. 7 legend, reduced to its three scrubbed configurations.
+FIG7_CONFIGS = {
+    "cfq-sequential": dict(scrubber=ScrubberSetup(algorithm="sequential")),
+    "cfq-staggered-128": dict(
+        scrubber=ScrubberSetup(algorithm="staggered", regions=128)
+    ),
+    "waiting-100ms": dict(waiting={"threshold": 0.1, "request_bytes": 64 * 1024}),
+}
+
+DETECT_WORKERS = 8
+
+
+def _same_replay(a: dict, b: dict) -> bool:
+    ra, rb = a["result"], b["result"]
+    return (
+        a["mean_slowdown"] == b["mean_slowdown"]
+        and ra.horizon == rb.horizon
+        and ra.fg_requests == rb.fg_requests
+        and ra.scrub_bytes == rb.scrub_bytes
+        and ra.scrub_requests == rb.scrub_requests
+        and ra.trace_digest == rb.trace_digest
+        and ra.fg_response_times.shape == rb.fg_response_times.shape
+        and np.array_equal(ra.fg_response_times, rb.fg_response_times)
+    )
+
+
+def _fig7_grid(trace, horizon: float, feed: str, baseline_memo: bool) -> list:
+    # Clear the in-process memo so every repetition is self-contained:
+    # the legacy timing must not ride on a baseline the new path left
+    # behind, and the new path must pay for its one baseline replay.
+    clear_baseline_memo()
+    return [
+        replay_slowdown_task(
+            trace,
+            horizon=horizon,
+            feed=feed,
+            baseline_memo=baseline_memo,
+            **config,
+        )
+        for config in FIG7_CONFIGS.values()
+    ]
+
+
+def _detect_params(trace, horizon: float, feed: str) -> list:
+    return [
+        dict(
+            algorithm=algorithm,
+            cylinders=40,
+            model_params={"inter_burst_mean": 0.5, "in_burst_time_mean": 0.01},
+            horizon=horizon,
+            seed=seed,
+            cache_bug=cache_bug,
+            trace=trace,
+            feed=feed,
+        )
+        for algorithm in ("sequential", "staggered")
+        for cache_bug in (False, True)
+        for seed in (1, 2)
+    ]
+
+
+def run_fig7_phase(scale: float, reps: int) -> dict:
+    duration = 6 * 3600.0 * scale
+    horizon = max(5.0, 150.0 * scale)
+    trace = generate_trace("MSRsrc11", duration=duration, seed=3)
+
+    variants = {
+        "legacy": lambda: _fig7_grid(trace, horizon, "records", False),
+        "new": lambda: _fig7_grid(trace, horizon, "arrays", True),
+    }
+    best = {name: float("inf") for name in variants}
+    rows: dict = {}
+    for _ in range(reps):
+        for name, run in variants.items():
+            start = time.perf_counter()
+            result = run()
+            best[name] = min(best[name], time.perf_counter() - start)
+            rows.setdefault(name, result)
+
+    # Bit-identity: legacy feed vs array cursor, and serial vs a sweep
+    # fanned out with shared-memory trace shipping.
+    parallel = SweepRunner(workers=3).map(
+        replay_slowdown_task,
+        [
+            dict(trace=trace, horizon=horizon, **config)
+            for config in FIG7_CONFIGS.values()
+        ],
+    )
+    for seed_row, new_row, par_row in zip(rows["legacy"], rows["new"], parallel):
+        if not (_same_replay(seed_row, new_row) and _same_replay(new_row, par_row)):
+            raise AssertionError(
+                "fig7 replay results diverged between the legacy, batched "
+                "and parallel paths"
+            )
+
+    return {
+        "trace": "MSRsrc11",
+        "duration_s": duration,
+        "records": len(trace),
+        "horizon_s": horizon,
+        "configs": list(FIG7_CONFIGS),
+        "legacy_s": round(best["legacy"], 4),
+        "new_s": round(best["new"], 4),
+        "speedup": round(best["legacy"] / best["new"], 2),
+        "target": FIG7_SPEEDUP_TARGET,
+        "identical": True,
+        "mean_slowdowns": {
+            name: round(row["mean_slowdown"], 9)
+            for name, row in zip(FIG7_CONFIGS, rows["new"])
+        },
+    }
+
+
+def run_detect_phase(scale: float, reps: int) -> dict:
+    duration = 4 * 3600.0 * scale
+    horizon = 3.0
+    trace = generate_trace("MSRsrc11", duration=duration, seed=3)
+
+    variants = {
+        "legacy": lambda: SweepRunner(
+            workers=DETECT_WORKERS, share_traces=False
+        ).map(detection_sweep_task, _detect_params(trace, horizon, "records")),
+        "new": lambda: SweepRunner(workers=DETECT_WORKERS).map(
+            detection_sweep_task, _detect_params(trace, horizon, "arrays")
+        ),
+    }
+    best = {name: float("inf") for name in variants}
+    rows: dict = {}
+    for _ in range(reps):
+        for name, run in variants.items():
+            start = time.perf_counter()
+            result = run()
+            best[name] = min(best[name], time.perf_counter() - start)
+            rows.setdefault(name, result)
+
+    serial = SweepRunner(workers=0).map(
+        detection_sweep_task, _detect_params(trace, horizon, "arrays")
+    )
+    if not (rows["legacy"] == rows["new"] == serial):
+        raise AssertionError(
+            "detection sweep results diverged between the pickled-records, "
+            "shared-memory and serial paths"
+        )
+
+    return {
+        "trace": "MSRsrc11",
+        "duration_s": duration,
+        "records": len(trace),
+        "horizon_s": horizon,
+        "tasks": len(serial),
+        "workers": DETECT_WORKERS,
+        "legacy_s": round(best["legacy"], 4),
+        "new_s": round(best["new"], 4),
+        "speedup": round(best["legacy"] / best["new"], 2),
+        "target": DETECT_SPEEDUP_TARGET,
+        "identical": True,
+        "detected": [r.metrics.detected for r in serial],
+    }
+
+
+def run_replay_benchmark(scale: float = 1.0, reps: int = 2) -> dict:
+    """Measure both phases; raises on any cross-path divergence."""
+    return {
+        "workload": "fig7 slowdown grid + 8-task detection sweep, "
+        "legacy vs zero-copy replay",
+        "timer": "time.perf_counter (wall clock), min of interleaved reps",
+        "reps": reps,
+        "fig7": run_fig7_phase(scale, reps),
+        "detect": run_detect_phase(scale, reps),
+    }
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="trace-duration multiplier (use e.g. 0.1 for a quick check)",
+    )
+    parser.add_argument("--reps", type=int, default=2)
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR4.json"),
+    )
+    args = parser.parse_args(argv)
+
+    record = run_replay_benchmark(scale=args.scale, reps=args.reps)
+    failed = False
+    print(f"{'phase':<10}{'records':>10}{'legacy':>10}{'new':>10}{'speedup':>9}{'target':>8}")
+    for phase in ("fig7", "detect"):
+        row = record[phase]
+        print(
+            f"{phase:<10}{row['records']:>10,}{row['legacy_s']:>9.2f}s"
+            f"{row['new_s']:>9.2f}s{row['speedup']:>8.2f}x"
+            f"{row['target']:>7.1f}x"
+        )
+        if row["speedup"] < row["target"]:
+            failed = True
+
+    payload = {
+        "version": __version__,
+        "python": sys.version.split()[0],
+        "replay": record,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if failed:
+        print(
+            "WARNING: replay speedup below target "
+            f"(fig7 {record['fig7']['speedup']}x / "
+            f"{FIG7_SPEEDUP_TARGET}x, detect {record['detect']['speedup']}x / "
+            f"{DETECT_SPEEDUP_TARGET}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Tier gate for the zero-copy replay benchmark (``make bench-replay``).
+
+A scaled-down run of :mod:`perf_replay` under the lite-timeout plugin.
+Bit-identity between the legacy, batched and shared-memory paths is
+asserted *inside* ``run_replay_benchmark`` (it raises on divergence),
+so this gate checks the record shape and that the accelerated path
+stays clearly ahead even on traces small enough for a CI tier.  The
+headline 2x/4x floors are enforced at full scale by
+``benchmarks/perf_replay.py`` itself, where pickling and record
+materialization dominate the legacy timings.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from perf_replay import FIG7_CONFIGS, run_replay_benchmark  # noqa: E402
+
+
+def test_replay_speedup_record():
+    record = run_replay_benchmark(scale=0.1, reps=1)
+    for phase in ("fig7", "detect"):
+        row = record[phase]
+        assert row["identical"] is True
+        assert row["legacy_s"] > 0 and row["new_s"] > 0
+        assert row["records"] > 1000
+        # Generous small-scale floor; 2x/4x are checked at full scale.
+        assert row["speedup"] > 1.2, (
+            f"{phase}: zero-copy path only {row['speedup']}x vs legacy — "
+            "expected a clear win even at CI scale"
+        )
+    assert set(record["fig7"]["mean_slowdowns"]) == set(FIG7_CONFIGS)
+    assert record["detect"]["tasks"] == 8

@@ -34,7 +34,12 @@ from repro.analysis.detection import (
     shrunk_spec,
 )
 from repro.analysis.impact import ImpactResult, run_impact_experiment
-from repro.analysis.replay_cdf import ReplayResult, replay_with_scrubber
+from repro.analysis.replay_cdf import (
+    ReplayResult,
+    replay_baseline,
+    replay_slowdown_task,
+    replay_with_scrubber,
+)
 from repro.analysis.service_model import ScrubServiceModel
 from repro.analysis.slowdown import (
     SlowdownResult,
@@ -54,6 +59,8 @@ __all__ = [
     "compute_detection_metrics",
     "detection_sweep_task",
     "evaluate_policy",
+    "replay_baseline",
+    "replay_slowdown_task",
     "replay_with_scrubber",
     "run_detection_experiment",
     "run_impact_experiment",

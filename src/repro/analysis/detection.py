@@ -43,6 +43,8 @@ from repro.sched.device import BlockDevice
 from repro.sched.noop import NoopScheduler
 from repro.sched.request import PriorityClass
 from repro.sim import RandomStreams, Simulation
+from repro.traces.record import Trace
+from repro.workloads.replay import TraceReplayer
 from repro.workloads.synthetic import RandomReader
 
 #: Scrub policies the experiment understands.
@@ -182,6 +184,9 @@ def run_detection_experiment(
     cache_enabled: bool = True,
     request_bytes: int = 64 * 1024,
     foreground: bool = False,
+    trace: Optional[Trace] = None,
+    time_scale: float = 1.0,
+    feed: str = "arrays",
     think_mean: float = 0.05,
     threshold: float = 0.01,
     remediation: Optional[RemediationPolicy] = None,
@@ -205,6 +210,11 @@ def run_detection_experiment(
     foreground:
         Add a closed-loop :class:`RandomReader`, so errors can also be
         found "the hard way" and detection sources compete.
+    trace / time_scale / feed:
+        Replay a recorded trace as the foreground load instead
+        (open-loop, LBNs wrapped onto the shrunk drive).  Mutually
+        exclusive with ``foreground``; ``feed`` as in
+        :func:`~repro.analysis.replay_cdf.replay_with_scrubber`.
     remediate:
         Enable the split/remap/verify lifecycle (with ``remediation``
         overriding the default :class:`RemediationPolicy`).
@@ -215,6 +225,10 @@ def run_detection_experiment(
     """
     if horizon <= 0:
         raise ValueError(f"horizon must be positive: {horizon}")
+    if trace is not None and foreground:
+        raise ValueError("pass either trace or foreground, not both")
+    if feed not in ("arrays", "records"):
+        raise ValueError(f"feed must be 'arrays' or 'records': {feed!r}")
     plan = build_model(model, **(model_params or {})).generate(
         Drive(spec, cache_enabled=False).total_sectors, horizon, seed
     )
@@ -231,6 +245,11 @@ def run_detection_experiment(
         streams = RandomStreams(seed=seed)
         RandomReader(
             sim, device, streams.get("foreground"), think_mean=think_mean
+        ).start()
+    elif trace is not None:
+        source = trace if feed == "arrays" else trace.records()
+        TraceReplayer(
+            sim, device, source, time_scale=time_scale, wrap_lbn=True
         ).start()
 
     policy = remediation if remediation is not None else (
@@ -289,6 +308,9 @@ def detection_sweep_task(
     cache_enabled: bool = True,
     cache_bug: Optional[bool] = None,
     foreground: bool = False,
+    trace: Optional[Trace] = None,
+    time_scale: float = 1.0,
+    feed: str = "arrays",
     request_bytes: int = 64 * 1024,
     collect_telemetry: bool = False,
 ) -> DetectionResult:
@@ -297,6 +319,12 @@ def detection_sweep_task(
     ``cache_bug`` forces the ATA ``VERIFY``-from-cache firmware bug on
     or off while keeping the geometry (and therefore the scrub
     schedule) identical — the clean A/B for the Fig. 1 payoff.
+
+    ``trace`` replays a recorded workload as the foreground load (see
+    :func:`run_detection_experiment`).  When fanned out through
+    :class:`~repro.parallel.runner.SweepRunner`, the trace ships to
+    workers zero-copy via shared memory and enters the cache key as
+    its content digest.
 
     ``collect_telemetry`` records the run with a fresh
     :class:`~repro.telemetry.Recorder` (wall-clock stats off, so the
@@ -326,6 +354,9 @@ def detection_sweep_task(
         seed=seed,
         cache_enabled=cache_enabled,
         foreground=foreground,
+        trace=trace,
+        time_scale=time_scale,
+        feed=feed,
         request_bytes=request_bytes,
         telemetry=recorder,
     )

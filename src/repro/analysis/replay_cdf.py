@@ -6,10 +6,23 @@ stack with one of three scrubbing configurations — none, a
 CFQ-scheduled scrubber, or the Waiting scrubber — and reports the
 foreground response-time distribution plus the scrubber's achieved
 rate, which is exactly what the paper's Fig. 7 legend shows.
+
+Baseline memoization
+--------------------
+Every ``mean_slowdown_vs`` comparison needs the *same* no-scrub
+baseline, and a Fig. 7 / Fig. 14-style grid re-derives it per
+configuration.  :func:`replay_baseline` replays the bare trace once
+per (trace digest, drive spec, horizon, idle gate, cache flag) and
+serves repeats from an in-process LRU — and, when given a
+:class:`~repro.parallel.cache.ResultCache`, from disk across
+processes and sessions.  The memo key is content-addressed via
+:meth:`Trace.digest`, so regenerated traces that merely share a name
+never collide.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
@@ -19,13 +32,19 @@ from repro.analysis.impact import ScrubberSetup
 from repro.core.policies.device import WaitingScrubber
 from repro.core.scrubber import Scrubber
 from repro.disk.drive import Drive
-from repro.disk.models import DriveSpec
+from repro.disk.models import PRESETS, DriveSpec
 from repro.sched.cfq import CFQScheduler
 from repro.sched.device import BlockDevice
 from repro.sched.noop import NoopScheduler
 from repro.sim import Simulation
 from repro.traces.record import Trace
 from repro.workloads.replay import TraceReplayer
+
+#: Allowed relative completed-request divergence between two runs of
+#: the same trace before ``mean_slowdown_vs`` refuses the comparison.
+#: A scrubber can delay a tail of completions past the horizon, but a
+#: larger gap means the runs replayed different traces or horizons.
+_SLOWDOWN_TAIL_TOLERANCE = 0.25
 
 
 @dataclass(frozen=True)
@@ -37,6 +56,10 @@ class ReplayResult:
     fg_requests: int
     scrub_bytes: int
     scrub_requests: int
+    #: Content digest of the replayed trace, used to reject
+    #: cross-trace ``mean_slowdown_vs`` comparisons (``None`` for
+    #: results built before the digest existed, e.g. old pickles).
+    trace_digest: Optional[str] = None
 
     @property
     def scrub_mbps(self) -> float:
@@ -49,13 +72,38 @@ class ReplayResult:
     def mean_slowdown_vs(self, baseline: "ReplayResult") -> float:
         """Mean extra response time per request against a no-scrub run.
 
-        Both runs must replay the same trace prefix; the comparison is
-        positional, mirroring how the paper measures per-request
-        slowdown.
+        The comparison is positional — request *i* here against request
+        *i* there, mirroring how the paper measures per-request
+        slowdown — which is only meaningful when both runs replayed the
+        same trace over the same horizon.  Raises ``ValueError`` when
+        the trace digests or horizons differ, or when the completed
+        counts diverge beyond the tail a scrubber can plausibly delay.
         """
-        n = min(len(self.fg_response_times), len(baseline.fg_response_times))
+        if (
+            self.trace_digest is not None
+            and baseline.trace_digest is not None
+            and self.trace_digest != baseline.trace_digest
+        ):
+            raise ValueError(
+                "cannot compare slowdown across different traces: "
+                f"{self.trace_digest[:12]} vs {baseline.trace_digest[:12]}"
+            )
+        if self.horizon != baseline.horizon:
+            raise ValueError(
+                "cannot compare slowdown across different horizons: "
+                f"{self.horizon} vs {baseline.horizon}"
+            )
+        mine = len(self.fg_response_times)
+        theirs = len(baseline.fg_response_times)
+        n = min(mine, theirs)
         if n == 0:
             raise ValueError("no common completed requests to compare")
+        if abs(mine - theirs) > _SLOWDOWN_TAIL_TOLERANCE * max(mine, theirs):
+            raise ValueError(
+                f"completed-request counts diverge too far ({mine} vs "
+                f"{theirs}) for a positional comparison; were these runs "
+                "replayed from the same trace and horizon?"
+            )
         delta = (
             self.fg_response_times[:n] - baseline.fg_response_times[:n]
         )
@@ -70,15 +118,24 @@ def replay_with_scrubber(
     horizon: Optional[float] = None,
     idle_gate: float = 0.010,
     cache_enabled: bool = False,
+    feed: str = "arrays",
 ) -> ReplayResult:
     """Replay ``trace`` with an optional scrubber.
 
     Exactly one of ``scrubber`` (CFQ-scheduled, Fig. 7 style) and
     ``waiting`` (the Waiting scrubber; keys ``threshold`` and
     ``request_bytes``) may be given; neither replays the bare trace.
+
+    ``feed`` selects how the replayer ingests the trace:
+    ``"arrays"`` (default) uses the batched array cursor,
+    ``"records"`` the legacy per-record generator.  The two are
+    bit-identical; ``"records"`` exists for A/B benchmarks and as a
+    paranoia switch.
     """
     if scrubber is not None and waiting is not None:
         raise ValueError("pass either scrubber or waiting, not both")
+    if feed not in ("arrays", "records"):
+        raise ValueError(f"feed must be 'arrays' or 'records': {feed!r}")
     if horizon is None:
         horizon = trace.duration
     if horizon <= 0:
@@ -91,7 +148,8 @@ def replay_with_scrubber(
         NoopScheduler() if waiting is not None else CFQScheduler(idle_gate=idle_gate)
     )
     device = BlockDevice(sim, Drive(spec, cache_enabled=cache_enabled), scheduler)
-    TraceReplayer(sim, device, trace.records()).start()
+    source = trace if feed == "arrays" else trace.records()
+    TraceReplayer(sim, device, source).start()
 
     scrub_bytes = scrub_requests = 0
     agent = None
@@ -129,4 +187,155 @@ def replay_with_scrubber(
         fg_requests=device.log.count("foreground"),
         scrub_bytes=scrub_bytes,
         scrub_requests=scrub_requests,
+        trace_digest=trace.digest(),
     )
+
+
+#: In-process no-scrub baseline memo, keyed on the full parameter
+#: tuple.  Small and LRU: a sweep grid reuses one baseline per
+#: (trace, spec, horizon) combination, of which a session has a few.
+_BASELINE_MEMO: "OrderedDict[tuple, ReplayResult]" = OrderedDict()
+_BASELINE_MEMO_SIZE = 16
+
+
+def _baseline_key(
+    trace: Trace,
+    spec: DriveSpec,
+    horizon: float,
+    idle_gate: float,
+    cache_enabled: bool,
+) -> tuple:
+    from repro.parallel.cache import canonicalize
+
+    return (
+        trace.digest(),
+        repr(canonicalize(spec)),
+        float(horizon).hex(),
+        float(idle_gate).hex(),
+        bool(cache_enabled),
+    )
+
+
+def clear_baseline_memo() -> None:
+    """Drop every in-process memoized baseline (mainly for tests)."""
+    _BASELINE_MEMO.clear()
+
+
+def replay_baseline(
+    trace: Trace,
+    spec: DriveSpec,
+    horizon: Optional[float] = None,
+    idle_gate: float = 0.010,
+    cache_enabled: bool = False,
+    feed: str = "arrays",
+    memo: bool = True,
+    result_cache=None,
+) -> ReplayResult:
+    """The no-scrub replay of ``trace``, memoized.
+
+    Identical to ``replay_with_scrubber(trace, spec)`` with no
+    scrubber, but repeated calls with the same (trace content, spec,
+    horizon, idle gate, cache flag) return the memoized result instead
+    of re-simulating — in-process via a small LRU, and across
+    processes when ``result_cache`` (a
+    :class:`~repro.parallel.cache.ResultCache`) is given.  ``memo=False``
+    bypasses the in-process memo (the on-disk cache, when given, is
+    still consulted); ``feed`` never participates in the key because
+    both feeds are bit-identical.
+    """
+    if horizon is None:
+        horizon = trace.duration
+    key = _baseline_key(trace, spec, horizon, idle_gate, cache_enabled)
+    if memo:
+        cached = _BASELINE_MEMO.get(key)
+        if cached is not None:
+            _BASELINE_MEMO.move_to_end(key)
+            return cached
+    disk_key = None
+    if result_cache is not None:
+        disk_key = result_cache.key(
+            replay_baseline,
+            {
+                "trace": trace,
+                "spec": spec,
+                "horizon": horizon,
+                "idle_gate": idle_gate,
+                "cache_enabled": cache_enabled,
+            },
+        )
+        hit, value = result_cache.get(disk_key)
+        if hit:
+            if memo:
+                _remember_baseline(key, value)
+            return value
+    result = replay_with_scrubber(
+        trace,
+        spec,
+        horizon=horizon,
+        idle_gate=idle_gate,
+        cache_enabled=cache_enabled,
+        feed=feed,
+    )
+    if result_cache is not None:
+        result_cache.put(disk_key, result)
+    if memo:
+        _remember_baseline(key, result)
+    return result
+
+
+def _remember_baseline(key: tuple, result: ReplayResult) -> None:
+    _BASELINE_MEMO[key] = result
+    _BASELINE_MEMO.move_to_end(key)
+    while len(_BASELINE_MEMO) > _BASELINE_MEMO_SIZE:
+        _BASELINE_MEMO.popitem(last=False)
+
+
+def replay_slowdown_task(
+    trace: Trace,
+    drive: str = "ultrastar",
+    scrubber: Optional[ScrubberSetup] = None,
+    waiting: Optional[dict] = None,
+    horizon: Optional[float] = None,
+    idle_gate: float = 0.010,
+    cache_enabled: bool = False,
+    feed: str = "arrays",
+    baseline_memo: bool = True,
+) -> dict:
+    """Picklable sweep task: one replay config plus its slowdown.
+
+    Runs ``replay_with_scrubber`` for the given configuration and
+    compares against the :func:`replay_baseline` no-scrub run — which
+    is memoized, so an N-configuration sweep in one process pays for
+    the baseline once (``baseline_memo=False`` restores the legacy
+    recompute-per-task behaviour for A/B benchmarks).  Designed for
+    :class:`~repro.parallel.runner.SweepRunner`, which ships ``trace``
+    to workers through shared memory.
+    """
+    if drive not in PRESETS:
+        raise ValueError(
+            f"unknown drive {drive!r}; choose from {sorted(PRESETS)}"
+        )
+    spec = PRESETS[drive]()
+    result = replay_with_scrubber(
+        trace,
+        spec,
+        scrubber=scrubber,
+        waiting=waiting,
+        horizon=horizon,
+        idle_gate=idle_gate,
+        cache_enabled=cache_enabled,
+        feed=feed,
+    )
+    baseline = replay_baseline(
+        trace,
+        spec,
+        horizon=horizon,
+        idle_gate=idle_gate,
+        cache_enabled=cache_enabled,
+        feed=feed,
+        memo=baseline_memo,
+    )
+    return {
+        "result": result,
+        "mean_slowdown": result.mean_slowdown_vs(baseline),
+    }

@@ -34,7 +34,9 @@ def _load_trace(args):
     from repro.traces import generate_trace, read_csv_trace
 
     if args.trace:
-        return read_csv_trace(args.trace)
+        return read_csv_trace(
+            args.trace, max_requests=getattr(args, "max_requests", None)
+        )
     return generate_trace(
         args.synthetic, duration=args.duration, seed=args.seed
     )
@@ -63,6 +65,11 @@ def _add_trace_source(parser: argparse.ArgumentParser) -> None:
         help="synthetic trace length in seconds (default 4h)",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--max-requests", type=int, default=None,
+        help="stop parsing a --trace CSV after this many requests "
+        "(huge traces load only the prefix an experiment needs)",
+    )
 
 
 def cmd_generate(args) -> int:
@@ -288,6 +295,20 @@ def cmd_detect(args) -> int:
             raise SystemExit(
                 f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
             )
+    fg_trace = None
+    if args.trace or args.synthetic:
+        if args.foreground:
+            raise SystemExit(
+                "detect: --trace/--synthetic and --foreground are both "
+                "foreground sources; pass at most one"
+            )
+        if args.trace and args.synthetic:
+            raise SystemExit(
+                "detect: --trace and --synthetic are mutually exclusive"
+            )
+        # Loaded once here; SweepRunner ships it to workers zero-copy
+        # through shared memory and keys the cache on its content digest.
+        fg_trace = _load_trace(args)
     collect = bool(args.telemetry or args.trace_out)
     param_sets = [
         dict(
@@ -302,6 +323,7 @@ def cmd_detect(args) -> int:
             cache_enabled=not args.no_cache,
             cache_bug=bug,
             foreground=args.foreground,
+            trace=fg_trace,
             collect_telemetry=collect,
         )
         for algorithm in args.algorithms
@@ -415,7 +437,7 @@ def cmd_trace(args) -> int:
     )
 
     if args.trace or args.synthetic:
-        TraceReplayer(sim, device, _load_trace(args).records()).start()
+        TraceReplayer(sim, device, _load_trace(args)).start()
     elif args.foreground:
         streams = RandomStreams(seed=args.seed)
         RandomReader(
@@ -597,6 +619,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a closed-loop random reader alongside the scrubber",
     )
     detect.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="replay this CSV trace as the foreground workload "
+        "(mutually exclusive with --foreground)",
+    )
+    detect.add_argument(
+        "--synthetic", metavar="NAME", default=None,
+        help="replay a synthetic catalog trace as the foreground workload",
+    )
+    detect.add_argument(
+        "--duration", type=float, default=60.0,
+        help="synthetic foreground trace length in seconds",
+    )
+    detect.add_argument(
+        "--max-requests", type=int, default=None,
+        help="stop parsing a --trace CSV after this many requests",
+    )
+    detect.add_argument(
         "--workers", type=int, default=0,
         help="worker processes for the sweep (0 = in-process serial)",
     )
@@ -648,6 +687,10 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--duration", type=float, default=60.0,
         help="synthetic foreground trace length in seconds",
+    )
+    trace.add_argument(
+        "--max-requests", type=int, default=None,
+        help="stop parsing a --trace CSV after this many requests",
     )
     trace.add_argument(
         "--foreground", action="store_true",

@@ -25,6 +25,8 @@ from typing import Any, Callable, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.traces.record import Trace
+
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
@@ -47,11 +49,19 @@ def canonicalize(obj: Any) -> Any:
     * floats use ``float.hex`` (exact, round-trip safe);
     * NumPy arrays become ``(dtype, shape, sha256-of-bytes)`` so large
       trace vectors hash in one pass without repr'ing elements;
+    * a :class:`~repro.traces.record.Trace` becomes its *content
+      digest* (:meth:`Trace.digest`): two regenerated synthetic traces
+      that share a name but not data get different keys, while the
+      same data parsed, generated, or viewed through shared memory
+      gets the same one — and the digest is memoised on the trace, so
+      a 64-task sweep hashes its columns once, not 64 times;
     * objects are ``(qualified class name, canonicalized attributes)``,
       covering dataclasses like ``ScrubServiceModel`` and schedules.
     """
     if obj is None or isinstance(obj, (bool, int, str, bytes)):
         return obj
+    if isinstance(obj, Trace):
+        return ("trace", obj.digest())
     if isinstance(obj, float):
         return ("f", obj.hex())
     if isinstance(obj, np.integer):

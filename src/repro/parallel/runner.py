@@ -12,6 +12,18 @@ Tasks that cannot be pickled (lambdas, closures, open handles in the
 parameters) transparently fall back to in-process serial execution, so
 callers never need two code paths.
 
+Trace parameters ship zero-copy: any top-level
+:class:`~repro.traces.record.Trace` value in a task's kwargs is
+exported once per distinct trace into a shared-memory segment
+(:class:`~repro.traces.shm.TraceArrays`) and replaced by its small
+:class:`~repro.traces.shm.TraceHandle` for the trip through the pool;
+the worker trampoline re-materialises a zero-copy view before calling
+the task function.  Cache keys are computed on the *original*
+parameters (the trace canonicalizes to its content digest), segments
+are only created for cache misses, and a ``try/finally`` around the
+pool guarantees every segment is unlinked on success, worker crash,
+and ``KeyboardInterrupt``.
+
 A worker that *dies* (segfault, OOM kill, ``os._exit``) poisons the
 whole ``ProcessPoolExecutor``: every outstanding future raises
 ``BrokenProcessPool`` and, naively, a single bad parameter set aborts
@@ -67,8 +79,30 @@ def derive_seed(base_seed: int, index: int) -> int:
 
 
 def _call(fn: Callable, kwargs: dict) -> Any:
-    """Top-level trampoline (must be picklable for the process pool)."""
-    return fn(**kwargs)
+    """Top-level trampoline (must be picklable for the process pool).
+
+    Resolves any :class:`TraceHandle` values back into zero-copy
+    :class:`Trace` views before calling the task, and unmaps the
+    attachments afterwards (tolerating results that pin the buffers —
+    see :mod:`repro.traces.shm`).
+    """
+    from repro.traces.shm import TraceArrays, TraceHandle
+
+    attachments = []
+    resolved = kwargs
+    try:
+        for key, value in kwargs.items():
+            if isinstance(value, TraceHandle):
+                arrays = TraceArrays.attach(value)
+                attachments.append(arrays)
+                if resolved is kwargs:
+                    resolved = dict(kwargs)
+                resolved[key] = arrays.as_trace()
+        return fn(**resolved)
+    finally:
+        del resolved
+        for arrays in attachments:
+            arrays.close()
 
 
 def _picklable(obj: Any) -> bool:
@@ -92,6 +126,11 @@ class SweepRunner:
     base_seed:
         When set, :meth:`map` can inject ``derive_seed(base_seed, i)``
         into each task (see ``seed_param``).
+    share_traces:
+        Ship :class:`Trace` parameters to pool workers through shared
+        memory (default).  ``False`` falls back to pickling them with
+        the rest of the parameters — the pre-shared-memory behaviour,
+        kept as an escape hatch and for A/B benchmarks.
     """
 
     def __init__(
@@ -100,6 +139,7 @@ class SweepRunner:
         cache: Optional[ResultCache] = None,
         base_seed: Optional[int] = None,
         telemetry=None,
+        share_traces: bool = True,
     ) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
@@ -108,6 +148,7 @@ class SweepRunner:
         self.workers = int(workers)
         self.cache = cache
         self.base_seed = base_seed
+        self.share_traces = share_traces
         #: Tasks actually executed (cache misses) over this runner's life.
         self.executed = 0
         #: Optional telemetry sink metering the sweep itself (tasks
@@ -116,6 +157,37 @@ class SweepRunner:
         self.telemetry = (
             telemetry if telemetry is not None and telemetry.enabled else None
         )
+
+    @staticmethod
+    def _substitute_traces(pending: List[tuple], exported: List) -> List[tuple]:
+        """Replace top-level ``Trace`` kwargs with shared-memory handles.
+
+        One segment per *distinct* trace object (an 8-task sweep over
+        one trace exports it once, not 8 times); every created
+        :class:`TraceArrays` is appended to ``exported`` for the
+        caller's ``finally`` teardown.  Only runs for tasks headed to
+        the pool — cache hits never reach here, so a fully-cached
+        sweep creates no segments at all.
+        """
+        from repro.traces.record import Trace
+        from repro.traces.shm import TraceArrays
+
+        handles = {}  # id(trace) -> TraceHandle
+        substituted = []
+        for index, key, params in pending:
+            shipped = None
+            for name, value in params.items():
+                if isinstance(value, Trace):
+                    handle = handles.get(id(value))
+                    if handle is None:
+                        arrays = TraceArrays.from_trace(value)
+                        exported.append(arrays)
+                        handle = handles[id(value)] = arrays.handle
+                    if shipped is None:
+                        shipped = dict(params)
+                    shipped[name] = handle
+            substituted.append((index, key, shipped if shipped is not None else params))
+        return substituted
 
     @property
     def cache_hits(self) -> int:
@@ -175,44 +247,58 @@ class SweepRunner:
         if not pending:
             return results
 
-        use_pool = (
-            self.workers > 1
-            and len(pending) > 1
-            and _picklable(fn)
-            and all(_picklable(params) for _, _, params in pending)
-        )
-        if use_pool:
-            max_workers = min(self.workers, len(pending))
-            outcomes = []
-            victims: List[tuple] = []  # (index, key, params) hit by a broken pool
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                futures = [
-                    (index, key, params, pool.submit(_call, fn, params))
-                    for index, key, params in pending
-                ]
-                for index, key, params, future in futures:
+        exported: List = []  # TraceArrays segments owned by this map() call
+        try:
+            if (
+                self.share_traces
+                and self.workers > 1
+                and len(pending) > 1
+            ):
+                pending = self._substitute_traces(pending, exported)
+            use_pool = (
+                self.workers > 1
+                and len(pending) > 1
+                and _picklable(fn)
+                and all(_picklable(params) for _, _, params in pending)
+            )
+            if use_pool:
+                max_workers = min(self.workers, len(pending))
+                outcomes = []
+                victims: List[tuple] = []  # (index, key, params) hit by a broken pool
+                with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                    futures = [
+                        (index, key, params, pool.submit(_call, fn, params))
+                        for index, key, params in pending
+                    ]
+                    for index, key, params, future in futures:
+                        try:
+                            outcomes.append((index, key, future.result()))
+                        except BrokenProcessPool:
+                            victims.append((index, key, params))
+                failures: List[Tuple[int, dict]] = []
+                for index, key, params in victims:
+                    # One retry each, isolated on a fresh worker: a task that
+                    # only *shared* the poisoned pool completes here, while a
+                    # genuinely fatal parameter set kills its private worker.
                     try:
-                        outcomes.append((index, key, future.result()))
+                        with ProcessPoolExecutor(max_workers=1) as pool:
+                            outcomes.append(
+                                (index, key, pool.submit(_call, fn, params).result())
+                            )
                     except BrokenProcessPool:
-                        victims.append((index, key, params))
-            failures: List[Tuple[int, dict]] = []
-            for index, key, params in victims:
-                # One retry each, isolated on a fresh worker: a task that
-                # only *shared* the poisoned pool completes here, while a
-                # genuinely fatal parameter set kills its private worker.
-                try:
-                    with ProcessPoolExecutor(max_workers=1) as pool:
-                        outcomes.append(
-                            (index, key, pool.submit(_call, fn, params).result())
-                        )
-                except BrokenProcessPool:
-                    failures.append((index, params))
-            if failures:
-                raise SweepTaskError(sorted(failures))
-        else:
-            outcomes = [
-                (index, key, fn(**params)) for index, key, params in pending
-            ]
+                        failures.append((index, params))
+                if failures:
+                    raise SweepTaskError(sorted(failures))
+            else:
+                outcomes = [
+                    (index, key, _call(fn, params)) for index, key, params in pending
+                ]
+        finally:
+            # Unconditional segment teardown: success, SweepTaskError,
+            # an ordinary task exception, or KeyboardInterrupt — the
+            # shared pages must never outlive the sweep.
+            for arrays in exported:
+                arrays.cleanup()
 
         self.executed += len(outcomes)
         for index, key, value in outcomes:

@@ -19,20 +19,29 @@ are not redistributable, so this package provides:
 
 from repro.traces.catalog import CATALOG, TraceSpec, generate_trace
 from repro.traces.idle import idle_intervals
-from repro.traces.io import TraceFormatError, read_csv_trace, write_csv_trace
+from repro.traces.io import (
+    TraceFormatError,
+    iter_trace_chunks,
+    read_csv_trace,
+    write_csv_trace,
+)
 from repro.traces.record import Trace, TraceRecord
+from repro.traces.shm import TraceArrays, TraceHandle
 from repro.traces.synth import SyntheticTraceGenerator, TraceProfile
 
 __all__ = [
     "CATALOG",
     "SyntheticTraceGenerator",
     "Trace",
+    "TraceArrays",
     "TraceFormatError",
+    "TraceHandle",
     "TraceProfile",
     "TraceRecord",
     "TraceSpec",
     "generate_trace",
     "idle_intervals",
+    "iter_trace_chunks",
     "read_csv_trace",
     "write_csv_trace",
 ]

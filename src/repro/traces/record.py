@@ -9,6 +9,7 @@ want them (e.g. the replayer).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
@@ -40,6 +41,12 @@ class Trace:
         Identification metadata (mirrors the paper's Table I columns).
     capacity_sectors:
         Size of the traced disk, if known.
+    validate:
+        Skip the column sanity checks when ``False``.  Only for
+        internal fast paths that rebuild a trace from columns already
+        validated once (e.g. shared-memory views, streamed chunks);
+        the checks are O(n) and a worker attaching a multi-million
+        request trace should not re-pay them.
     """
 
     def __init__(
@@ -51,20 +58,22 @@ class Trace:
         name: str = "",
         description: str = "",
         capacity_sectors: Optional[int] = None,
+        validate: bool = True,
     ) -> None:
         times = np.asarray(times, dtype=float)
         lbns = np.asarray(lbns, dtype=np.int64)
         sectors = np.asarray(sectors, dtype=np.int64)
         is_write = np.asarray(is_write, dtype=bool)
-        lengths = {len(times), len(lbns), len(sectors), len(is_write)}
-        if len(lengths) != 1:
-            raise ValueError(f"mismatched column lengths: {sorted(lengths)}")
-        if len(times) and np.any(np.diff(times) < 0):
-            raise ValueError("times must be non-decreasing")
-        if np.any(sectors <= 0):
-            raise ValueError("sector counts must be positive")
-        if np.any(lbns < 0):
-            raise ValueError("LBNs must be non-negative")
+        if validate:
+            lengths = {len(times), len(lbns), len(sectors), len(is_write)}
+            if len(lengths) != 1:
+                raise ValueError(f"mismatched column lengths: {sorted(lengths)}")
+            if len(times) and np.any(np.diff(times) < 0):
+                raise ValueError("times must be non-decreasing")
+            if np.any(sectors <= 0):
+                raise ValueError("sector counts must be positive")
+            if np.any(lbns < 0):
+                raise ValueError("LBNs must be non-negative")
         self.times = times
         self.lbns = lbns
         self.sectors = sectors
@@ -72,9 +81,32 @@ class Trace:
         self.name = name
         self.description = description
         self.capacity_sectors = capacity_sectors
+        #: Content digest memo (see :meth:`digest`).
+        self._digest: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self.times)
+
+    def digest(self) -> str:
+        """Content digest of the trace (SHA-256 over the four columns).
+
+        Two traces with identical requests share a digest regardless of
+        how they were built (parsed, generated, shared-memory view),
+        while regenerated synthetic traces that merely share a *name*
+        do not — which is what makes the digest safe as a cache-key
+        component for trace-driven experiments.  ``capacity_sectors``
+        participates; the free-text ``name``/``description`` metadata
+        does not.  The digest is computed once and memoised, so it must
+        not be relied upon after mutating the column arrays in place.
+        """
+        if self._digest is None:
+            h = hashlib.sha256()
+            for column in (self.times, self.lbns, self.sectors, self.is_write):
+                h.update(str(column.dtype).encode())
+                h.update(np.ascontiguousarray(column).tobytes())
+            h.update(repr(self.capacity_sectors).encode())
+            self._digest = h.hexdigest()
+        return self._digest
 
     @property
     def duration(self) -> float:

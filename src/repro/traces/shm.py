@@ -1,0 +1,236 @@
+"""Zero-copy trace shipping via POSIX shared memory.
+
+A multi-hour block trace holds millions of requests; pickling one into
+every sweep worker costs a full copy per task, twice (serialize +
+deserialize), before any simulation runs.  :class:`TraceArrays` instead
+packs the four columns of a :class:`~repro.traces.record.Trace` into a
+single ``multiprocessing.shared_memory`` segment once, and workers
+attach to it by name: the only thing crossing the process boundary is
+a :class:`TraceHandle` of a few hundred bytes, and the worker's column
+arrays are views straight into the shared pages — zero copies on
+either side.
+
+Lifecycle contract
+------------------
+The *exporting* process owns the segment: it creates it with
+:meth:`TraceArrays.from_trace` and must eventually call
+:meth:`TraceArrays.unlink` (``close()`` only unmaps this process's
+view).  :class:`~repro.parallel.runner.SweepRunner` wraps its pool
+execution in ``try/finally`` so segments are unlinked on success,
+worker crash, and ``KeyboardInterrupt`` alike — and never created at
+all for tasks served from the :class:`~repro.parallel.cache.ResultCache`.
+
+Workers attach with :meth:`TraceArrays.attach`.  On POSIX the attach
+deliberately bypasses :class:`multiprocessing.shared_memory.SharedMemory`
+(which registers every attachment with the ``resource_tracker`` and,
+until Python 3.13's ``track=False``, cannot be told not to): a worker
+that merely *maps* a segment must not fight the owner over who cleans
+it up.  The attach is a bare ``shm_open`` + ``mmap`` with no tracker
+interaction; non-POSIX platforms fall back to ``SharedMemory`` with a
+best-effort unregister.
+
+Closing tolerates pinned buffers: if a task's *result* still references
+the shared columns when the worker tries to unmap, the ``BufferError``
+is swallowed and the mapping simply lives until process exit.  The
+owner's ``unlink`` does not care — POSIX keeps the pages alive until
+the last mapping goes away.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Optional
+
+import numpy as np
+
+from repro.traces.record import Trace
+
+#: Column layout: (attribute, dtype); the segment is these four arrays
+#: back to back, each ``itemsize * len(trace)`` bytes.
+_COLUMNS = (
+    ("times", np.dtype(np.float64)),
+    ("lbns", np.dtype(np.int64)),
+    ("sectors", np.dtype(np.int64)),
+    ("is_write", np.dtype(np.bool_)),
+)
+
+
+@dataclass(frozen=True)
+class TraceHandle:
+    """Everything a worker needs to rebuild a trace — except the data.
+
+    Picklable and tiny: the segment name, the request count, the trace
+    metadata, and the content digest (shipped so workers never re-hash
+    millions of rows just to compute a cache or memo key).
+    """
+
+    shm_name: str
+    length: int
+    name: str
+    description: str
+    capacity_sectors: Optional[int]
+    digest: str
+
+
+class _PosixMapping:
+    """Tracker-free attachment to an existing POSIX shm segment.
+
+    Quacks like ``SharedMemory`` as far as :class:`TraceArrays` needs
+    (``.buf``, ``.close()``, no ``unlink`` — attachments never own).
+    """
+
+    def __init__(self, name: str) -> None:
+        import _posixshmem
+        import mmap
+
+        fd = _posixshmem.shm_open("/" + name, os.O_RDWR, mode=0o600)
+        try:
+            size = os.fstat(fd).st_size
+            self._mmap = mmap.mmap(fd, size)
+        finally:
+            os.close(fd)
+        self.buf = memoryview(self._mmap)
+
+    def close(self) -> None:
+        buf, self.buf = self.buf, None
+        if buf is not None:
+            buf.release()
+        self._mmap.close()
+
+
+def _attach_segment(name: str):
+    """Map an existing segment without registering it for cleanup."""
+    if getattr(shared_memory, "_USE_POSIX", False):
+        try:
+            return _PosixMapping(name)
+        except ImportError:  # _posixshmem missing: fall through
+            pass
+    segment = shared_memory.SharedMemory(name=name)
+    try:  # undo the attach-side resource_tracker registration
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:
+        pass
+    return segment
+
+
+class TraceArrays:
+    """A :class:`Trace` viewed through one shared-memory segment.
+
+    Build with :meth:`from_trace` (owner side) or :meth:`attach`
+    (worker side); read with :meth:`as_trace`.  Usable as a context
+    manager — ``__exit__`` closes the mapping and, for owners, unlinks
+    the segment.
+    """
+
+    def __init__(self, segment, handle: TraceHandle, owner: bool) -> None:
+        self._segment = segment
+        self.handle = handle
+        self.owner = owner
+        self._closed = False
+        self._unlinked = False
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "TraceArrays":
+        """Export ``trace`` into a fresh segment (one memcpy per column)."""
+        n = len(trace)
+        total = sum(dtype.itemsize for _, dtype in _COLUMNS) * n
+        segment = shared_memory.SharedMemory(create=True, size=max(1, total))
+        offset = 0
+        for attr, dtype in _COLUMNS:
+            view = np.ndarray(n, dtype=dtype, buffer=segment.buf, offset=offset)
+            view[:] = getattr(trace, attr)
+            offset += dtype.itemsize * n
+        handle = TraceHandle(
+            shm_name=segment.name,
+            length=n,
+            name=trace.name,
+            description=trace.description,
+            capacity_sectors=trace.capacity_sectors,
+            digest=trace.digest(),
+        )
+        return cls(segment, handle, owner=True)
+
+    @classmethod
+    def attach(cls, handle: TraceHandle) -> "TraceArrays":
+        """Map the segment named by ``handle`` (zero-copy, tracker-free)."""
+        return cls(_attach_segment(handle.shm_name), handle, owner=False)
+
+    def as_trace(self) -> Trace:
+        """The shared columns as a :class:`Trace` (views, not copies).
+
+        The returned trace keeps a reference to this mapping, so the
+        buffer cannot be unmapped from under its arrays by garbage
+        collection; an explicit :meth:`close` while views are alive is
+        a tolerated no-op (see module docstring).
+        """
+        if self._closed:
+            raise ValueError("trace arrays are closed")
+        handle = self.handle
+        n = handle.length
+        columns = {}
+        offset = 0
+        for attr, dtype in _COLUMNS:
+            columns[attr] = np.ndarray(
+                n, dtype=dtype, buffer=self._segment.buf, offset=offset
+            )
+            offset += dtype.itemsize * n
+        trace = Trace(
+            columns["times"],
+            columns["lbns"],
+            columns["sectors"],
+            columns["is_write"],
+            name=handle.name,
+            description=handle.description,
+            capacity_sectors=handle.capacity_sectors,
+            validate=False,
+        )
+        trace._digest = handle.digest
+        trace._trace_arrays = self  # pin the mapping to the views' lifetime
+        return trace
+
+    def close(self) -> None:
+        """Unmap this process's view (idempotent, pinned-buffer safe)."""
+        if self._closed:
+            return
+        try:
+            self._segment.close()
+        except BufferError:
+            # Live views (e.g. inside a task result) still export the
+            # buffer; leave the mapping to die with the process.
+            return
+        self._closed = True
+
+    def unlink(self) -> None:
+        """Remove the segment name (owner only; idempotent)."""
+        if not self.owner or self._unlinked:
+            return
+        self._unlinked = True
+        try:
+            self._segment.unlink()
+        except FileNotFoundError:
+            pass
+
+    def cleanup(self) -> None:
+        """Owner-side teardown: close the view, then unlink the name."""
+        self.close()
+        self.unlink()
+
+    def __enter__(self) -> "TraceArrays":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self.owner:
+            self.cleanup()
+        else:
+            self.close()
+
+    def __repr__(self) -> str:
+        role = "owner" if self.owner else "view"
+        return (
+            f"<TraceArrays {role} {self.handle.shm_name} "
+            f"n={self.handle.length}>"
+        )

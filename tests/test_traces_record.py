@@ -7,6 +7,7 @@ from repro.traces import (
     Trace,
     TraceFormatError,
     TraceRecord,
+    iter_trace_chunks,
     read_csv_trace,
     write_csv_trace,
 )
@@ -232,3 +233,104 @@ class TestTraceFormatError:
         trace = read_csv_trace(path)
         assert len(trace) == 2
         assert trace.is_write.tolist() == [False, True]
+
+
+class TestReadLimits:
+    def _write(self, tmp_path, n=50, gz=False):
+        trace = Trace(
+            times=np.arange(n, dtype=float) * 0.5,
+            lbns=np.arange(n) * 8,
+            sectors=np.full(n, 8),
+            is_write=np.arange(n) % 2 == 0,
+            name="limits",
+        )
+        path = tmp_path / ("t.csv.gz" if gz else "t.csv")
+        write_csv_trace(trace, path)
+        return trace, path
+
+    def test_max_requests_prefix(self, tmp_path):
+        trace, path = self._write(tmp_path)
+        loaded = read_csv_trace(path, max_requests=10)
+        assert len(loaded) == 10
+        assert np.array_equal(loaded.times, trace.times[:10])
+        assert np.array_equal(loaded.lbns, trace.lbns[:10])
+
+    def test_max_requests_zero_and_overshoot(self, tmp_path):
+        trace, path = self._write(tmp_path)
+        assert len(read_csv_trace(path, max_requests=0)) == 0
+        assert len(read_csv_trace(path, max_requests=10_000)) == len(trace)
+
+    def test_max_requests_negative_rejected(self, tmp_path):
+        _, path = self._write(tmp_path)
+        with pytest.raises(ValueError, match="max_requests"):
+            read_csv_trace(path, max_requests=-1)
+
+    def test_max_requests_on_gzip(self, tmp_path):
+        trace, path = self._write(tmp_path, gz=True)
+        loaded = read_csv_trace(path, max_requests=7)
+        assert np.array_equal(loaded.times, trace.times[:7])
+
+
+class TestIterTraceChunks:
+    def test_chunked_equals_whole_canonical(self, tmp_path):
+        n = 37
+        trace = Trace(
+            times=np.arange(n, dtype=float) * 0.25,
+            lbns=np.arange(n) * 16,
+            sectors=np.full(n, 8),
+            is_write=np.zeros(n, bool),
+        )
+        path = tmp_path / "t.csv"
+        write_csv_trace(trace, path)
+        chunks = list(iter_trace_chunks(path, chunk_requests=10))
+        assert [len(c) for c in chunks] == [10, 10, 10, 7]
+        assert np.array_equal(
+            np.concatenate([c.times for c in chunks]), trace.times
+        )
+        assert np.array_equal(
+            np.concatenate([c.lbns for c in chunks]), trace.lbns
+        )
+
+    def test_chunked_equals_whole_msr(self, tmp_path):
+        path = tmp_path / "msr.csv"
+        base = 128166372003061629
+        rows = [
+            f"{base + i * 2_500_000},src1,1,{'Write' if i % 3 else 'Read'},"
+            f"{512 * (100 + i)},4096,800"
+            for i in range(25)
+        ]
+        path.write_text("\n".join(rows) + "\n")
+        whole = read_csv_trace(path)
+        chunks = list(iter_trace_chunks(path, chunk_requests=8))
+        assert np.array_equal(
+            np.concatenate([c.times for c in chunks]), whole.times
+        )
+        assert np.array_equal(
+            np.concatenate([c.lbns for c in chunks]), whole.lbns
+        )
+        assert np.array_equal(
+            np.concatenate([c.is_write for c in chunks]), whole.is_write
+        )
+
+    def test_chunked_gzip_with_cap(self, tmp_path):
+        n = 30
+        trace = Trace(
+            times=np.arange(n, dtype=float),
+            lbns=np.arange(n),
+            sectors=np.full(n, 8),
+            is_write=np.zeros(n, bool),
+        )
+        path = tmp_path / "t.csv.gz"
+        write_csv_trace(trace, path)
+        chunks = list(
+            iter_trace_chunks(path, chunk_requests=8, max_requests=20)
+        )
+        assert sum(len(c) for c in chunks) == 20
+        assert np.array_equal(
+            np.concatenate([c.times for c in chunks]), trace.times[:20]
+        )
+
+    def test_empty_file_yields_nothing(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("# name: nothing\n")
+        assert list(iter_trace_chunks(path)) == []
