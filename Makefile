@@ -4,7 +4,7 @@
 PYTHON ?= python
 TIMEOUT ?= 120
 
-.PHONY: tier1 smoke bench bench-telemetry bench-replay check
+.PHONY: tier1 smoke bench bench-telemetry bench-replay bench-verify verify-fuzz check
 
 # The ROADMAP tier-1 verify, with a per-test wall-clock limit so a
 # wedged test fails fast instead of hanging CI (tools/pytest_timeout_lite).
@@ -39,6 +39,22 @@ bench-replay:
 	PYTHONPATH=src:. $(PYTHON) -m pytest -q benchmarks/test_perf_replay.py \
 		-p tools.pytest_timeout_lite --lite-timeout $(TIMEOUT) \
 		-p no:cacheprovider --override-ini testpaths=benchmarks
+
+# Invariant-checker overhead gate: the live InvariantSink must stay
+# within 10% of the bare kernel on the 1M-event churn workload (writes
+# BENCH_PR5.json), plus a scaled-down pytest pass.
+bench-verify:
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_verify.py
+	PYTHONPATH=src:. $(PYTHON) -m pytest -q benchmarks/test_perf_verify.py \
+		-p tools.pytest_timeout_lite --lite-timeout $(TIMEOUT) \
+		-p no:cacheprovider --override-ini testpaths=benchmarks
+
+# Correctness-harness fuzz: 200 seeded configurations through the
+# runtime invariant checker and every differential-oracle axis, plus
+# the planted-bug self-test.  Fixed seed, so a CI failure reproduces
+# locally with the printed snippet alone.
+verify-fuzz:
+	PYTHONPATH=src $(PYTHON) -m repro verify --self-test --seed 0 --configs 200
 
 # Full experiment benchmarks (slow; regenerates the paper's figures).
 bench:

@@ -1,0 +1,45 @@
+"""Tier gate for the invariant-checker overhead benchmark.
+
+A scaled-down run of :mod:`perf_verify` under the lite-timeout plugin:
+checks the record shape and that the live checker stays in the same
+cost class as the bare kernel.  The headline ≤10% budget is enforced
+at full scale by ``benchmarks/perf_verify.py`` itself (where the
+1M-event workload pushes timing noise well below the budget); at this
+tiny scale we only assert a generous noise ceiling.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from perf_verify import CONFIGS, run_verify_benchmark  # noqa: E402
+
+
+def test_invariant_overhead_record():
+    record = run_verify_benchmark(scale=0.05, reps=2)
+    total = record["total"]
+    for name in CONFIGS:
+        assert total[f"{name}_s"] > 0
+        for row in record["phases"].values():
+            assert row[f"{name}_s"] >= 0
+    assert record["events"] >= 3000
+    # Generous small-scale ceiling; the 10% budget is checked at full
+    # scale.  The churn workloads emit almost no hooks, so even the
+    # twin loop should stay close to baseline.
+    assert total["invariant_overhead"] < 0.40, (
+        f"InvariantSink overhead {total['invariant_overhead']:.1%} — the "
+        f"checker must stay in the same cost class as the bare kernel"
+    )
+    assert total["invariant_events_per_s"] > 0
+
+
+def test_unattached_checker_is_free_structurally():
+    # "0 when not attached": without a sink the engine selects the
+    # untouched fast loop — the checker's code is never even reachable.
+    from repro.sim import Simulation
+
+    sim = Simulation()
+    assert sim.telemetry is None

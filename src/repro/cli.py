@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven commands cover the library's main workflows:
+Eight commands cover the library's main workflows:
 
 * ``generate``  — write a synthetic catalog trace to CSV;
 * ``analyze``   — Section V-A statistics for a trace (idle stats,
@@ -13,7 +13,10 @@ Seven commands cover the library's main workflows:
   with and without the ATA ``VERIFY`` cache bug;
 * ``trace``     — run a scrub scenario with the telemetry recorder on
   and export a Chrome trace-event JSON (Perfetto /
-  ``chrome://tracing``) plus a metrics summary.
+  ``chrome://tracing``) plus a metrics summary;
+* ``verify``    — correctness harness: fuzz seeded configurations
+  through the runtime invariant checker and the differential oracle
+  (``--self-test`` plants known bugs and asserts they are caught).
 
 ``throughput``, ``detect`` and ``optimize`` also take ``--telemetry``
 (print a metrics summary table) and, where a simulation runs
@@ -499,6 +502,54 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    from repro.verify import fuzz, run_selftest
+
+    status = 0
+    if args.self_test:
+        results = run_selftest()
+        width = max(len(r.name) for r in results)
+        for r in results:
+            verdict = "caught" if r.caught else "MISSED"
+            clean = "" if r.clean_after else "  [patch leaked!]"
+            print(f"  {r.name:<{width}}  {verdict}{clean}")
+            if not (r.caught and r.clean_after):
+                status = 1
+                for line in r.detail.splitlines():
+                    print(f"    {line}")
+        planted = len(results)
+        caught = sum(1 for r in results if r.caught and r.clean_after)
+        print(f"self-test: {caught}/{planted} planted bugs caught")
+        if args.configs <= 0:
+            return status
+
+    # Live \r progress only on a terminal; CI logs get one line per
+    # visited quartile instead of 200 carriage returns.
+    interactive = sys.stderr.isatty()
+
+    def progress(index: int, total: int) -> None:
+        if interactive:
+            print(f"  fuzz config {index + 1}/{total}", end="\r",
+                  file=sys.stderr)
+            sys.stderr.flush()
+        elif total >= 8 and index % max(1, total // 4) == 0:
+            print(f"  fuzz config {index + 1}/{total}", file=sys.stderr)
+
+    axes = tuple(args.axes) if args.axes else None
+    report = fuzz(
+        seed=args.seed,
+        n=args.configs,
+        axes=axes,
+        parallel_workers=args.workers,
+        progress=progress,
+    )
+    print(report.summary())
+    for failure in report.failures:
+        print()
+        print(failure.describe())
+    return status or (0 if report.ok else 1)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -726,6 +777,41 @@ def build_parser() -> argparse.ArgumentParser:
         "with --inject) for offline analysis",
     )
     trace.set_defaults(func=cmd_trace)
+
+    verify = sub.add_parser(
+        "verify",
+        help="fuzz seeded configs through the correctness harness",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "Each fuzzed configuration runs under the runtime invariant\n"
+            "checker and through the differential oracle's axes (fast\n"
+            "kernel vs instrumented twin, array vs record replay feed,\n"
+            "telemetry on vs off, serial vs shm-parallel sweep).  Any\n"
+            "failing configuration is minimised and reprinted as a\n"
+            "copy-pasteable repro snippet.  The same --seed always draws\n"
+            "the same configurations."
+        ),
+    )
+    verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument(
+        "--configs", type=int, default=50,
+        help="number of fuzzed configurations (default 50)",
+    )
+    verify.add_argument(
+        "--axes", nargs="+", default=None,
+        choices=("kernel-twin", "feed", "telemetry", "parallel"),
+        help="restrict the differential oracle to these axes",
+    )
+    verify.add_argument(
+        "--workers", type=int, default=2,
+        help="pool size for the serial-vs-parallel axis (default 2)",
+    )
+    verify.add_argument(
+        "--self-test", action="store_true",
+        help="first plant each known seeded bug and assert it is caught "
+        "(pass --configs 0 to run the self-test alone)",
+    )
+    verify.set_defaults(func=cmd_verify)
 
     mlet = sub.add_parser("mlet", help="MLET by scrub order under bursty LSEs")
     mlet.add_argument("--drive", default="ultrastar")

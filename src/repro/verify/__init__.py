@@ -1,0 +1,59 @@
+"""Correctness harness: invariants, differential oracle, config fuzzer.
+
+Four PRs of optimisation (fast kernel, parallel sweeps, telemetry twin
+loop, zero-copy replay) left the stack with pairs of code paths that
+promise bit-identical behaviour and a web of conservation laws the
+simulation must respect.  This package checks both, three ways:
+
+* :mod:`repro.verify.invariants` — :class:`InvariantSink`, a telemetry
+  sink that validates conservation laws *live* during any run and
+  raises :class:`InvariantViolation` with the offending event window;
+* :mod:`repro.verify.differential` — :func:`run_axes` /
+  :func:`check_parallel`, flipping one implementation switch at a time
+  (fast kernel vs instrumented twin, record vs batched replay feed,
+  telemetry on vs off, serial vs shm-parallel) and requiring
+  bit-identical outcomes;
+* :mod:`repro.verify.fuzzer` — :func:`fuzz`, deterministic random
+  configurations driven through both of the above, with failures
+  minimised into copy-pasteable repro snippets.
+
+:mod:`repro.verify.selftest` plants seeded bugs and asserts the
+harness catches each one.  CLI entry point: ``repro verify``.
+"""
+
+from repro.verify.differential import (
+    AXES,
+    DifferentialMismatch,
+    check_parallel,
+    outcome_signature,
+    run_axes,
+)
+from repro.verify.fuzzer import FuzzReport, fuzz, generate_configs, minimise
+from repro.verify.invariants import (
+    InvariantSink,
+    InvariantViolation,
+    check_error_log,
+    check_media_faults,
+)
+from repro.verify.scenario import FAMILIES, run_scenario
+from repro.verify.selftest import MUTATIONS, run_selftest
+
+__all__ = [
+    "AXES",
+    "FAMILIES",
+    "MUTATIONS",
+    "DifferentialMismatch",
+    "FuzzReport",
+    "InvariantSink",
+    "InvariantViolation",
+    "check_error_log",
+    "check_media_faults",
+    "check_parallel",
+    "fuzz",
+    "generate_configs",
+    "minimise",
+    "outcome_signature",
+    "run_axes",
+    "run_scenario",
+    "run_selftest",
+]

@@ -1,0 +1,174 @@
+"""Differential oracle: independent code paths must agree bit-for-bit.
+
+Four PRs of optimisation left the stack with pairs of code paths that
+promise identical observable behaviour.  Each promise is an *axis* the
+oracle can flip while holding the seeded scenario fixed:
+
+==============  ========================================================
+axis            paths compared
+==============  ========================================================
+``kernel-twin`` engine fast loop vs the instrumented twin loop (the
+                twin is selected whenever an enabled sink is attached)
+``feed``        legacy record-generator replay vs the PR 4 batched
+                ``_ReplayCursor`` array feed — compared *with* a
+                recorder attached, so the full event stream and metric
+                snapshot participate in the signature
+``telemetry``   telemetry off vs a recording :class:`Recorder` — the
+                sink-passivity contract (observation never perturbs)
+``parallel``    serial execution vs the shm-parallel
+                :class:`~repro.parallel.runner.SweepRunner` pool
+==============  ========================================================
+
+Outcomes are reduced to a SHA-256 *signature* through
+:func:`repro.parallel.cache.canonicalize` (floats hex-formatted,
+arrays hashed by content), so "agree" means bit-identical — a single
+ULP of drift or one reordered event flips the signature.  A mismatch
+raises :class:`DifferentialMismatch` naming the axis, the parameters
+and the first differing key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Sequence
+
+from repro.parallel.cache import canonicalize
+from repro.verify.scenario import run_scenario
+
+__all__ = [
+    "AXES",
+    "DifferentialMismatch",
+    "check_parallel",
+    "outcome_signature",
+    "run_axes",
+]
+
+#: All axes, in the order ``run_axes`` exercises them.  ``parallel``
+#: is batch-level (one pool spawn amortised over many configs) and
+#: lives in :func:`check_parallel`.
+AXES = ("kernel-twin", "feed", "telemetry", "parallel")
+
+
+class DifferentialMismatch(AssertionError):
+    """Two code paths that must agree produced different outcomes."""
+
+    def __init__(self, axis: str, params: dict, detail: str) -> None:
+        self.axis = axis
+        self.params = dict(params)
+        self.detail = detail
+        super().__init__(
+            f"differential axis {axis!r} diverged: {detail}\n"
+            f"  scenario: {params!r}"
+        )
+
+
+def outcome_signature(outcome: dict, include_telemetry: bool = True) -> str:
+    """SHA-256 signature of a :func:`run_scenario` outcome.
+
+    ``include_telemetry=False`` drops the ``"telemetry"`` key so
+    outcomes recorded with different sinks can still be compared on
+    the simulation's core behaviour.
+    """
+    if not include_telemetry:
+        outcome = {k: v for k, v in outcome.items() if k != "telemetry"}
+    return hashlib.sha256(
+        repr(canonicalize(outcome)).encode()
+    ).hexdigest()
+
+
+def _first_difference(a: dict, b: dict) -> str:
+    """Human-readable pointer at the first key where outcomes differ."""
+    for key in sorted(set(a) | set(b)):
+        if key == "telemetry":
+            continue
+        ca, cb = canonicalize(a.get(key)), canonicalize(b.get(key))
+        if ca != cb:
+            return f"key {key!r}: {_clip(ca)} != {_clip(cb)}"
+    ta, tb = a.get("telemetry"), b.get("telemetry")
+    if ta is not None and tb is not None:
+        for key in sorted(set(ta) | set(tb)):
+            ca, cb = canonicalize(ta.get(key)), canonicalize(tb.get(key))
+            if ca != cb:
+                return f"telemetry key {key!r}: {_clip(ca)} != {_clip(cb)}"
+    return "signatures differ but no key-level difference found"
+
+
+def _clip(value, limit: int = 160) -> str:
+    text = repr(value)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def _compare(
+    axis: str, params: dict, a: dict, b: dict, include_telemetry: bool
+) -> str:
+    sig_a = outcome_signature(a, include_telemetry=include_telemetry)
+    sig_b = outcome_signature(b, include_telemetry=include_telemetry)
+    if sig_a != sig_b:
+        raise DifferentialMismatch(axis, params, _first_difference(a, b))
+    return sig_a
+
+
+def run_axes(
+    params: dict, axes: Optional[Sequence[str]] = None
+) -> Dict[str, str]:
+    """Exercise the per-scenario differential axes on one configuration.
+
+    ``params`` are :func:`run_scenario` kwargs *without* ``feed`` /
+    ``telemetry`` (the oracle owns those switches).  Returns the agreed
+    signature per axis; raises :class:`DifferentialMismatch` on the
+    first divergence.  The ``parallel`` axis is intentionally absent —
+    it compares whole batches (:func:`check_parallel`) so the process
+    pool is spawned once per fleet, not once per config.
+    """
+    selected = tuple(axes) if axes is not None else AXES
+    unknown = set(selected) - set(AXES)
+    if unknown:
+        raise ValueError(f"unknown axes {sorted(unknown)}; choose from {AXES}")
+    base = {k: v for k, v in params.items() if k not in ("feed", "telemetry")}
+    signatures: Dict[str, str] = {}
+
+    if "kernel-twin" in selected:
+        fast = run_scenario(**base, telemetry="none")
+        twin = run_scenario(**base, telemetry="invariants")
+        signatures["kernel-twin"] = _compare(
+            "kernel-twin", base, fast, twin, include_telemetry=False
+        )
+    if "feed" in selected:
+        arrays = run_scenario(**base, feed="arrays", telemetry="recorder")
+        records = run_scenario(**base, feed="records", telemetry="recorder")
+        signatures["feed"] = _compare(
+            "feed", base, arrays, records, include_telemetry=True
+        )
+    if "telemetry" in selected:
+        off = run_scenario(**base, telemetry="none")
+        on = run_scenario(**base, telemetry="recorder")
+        signatures["telemetry"] = _compare(
+            "telemetry", base, off, on, include_telemetry=False
+        )
+    return signatures
+
+
+def check_parallel(
+    param_sets: Sequence[dict], workers: int = 2
+) -> List[str]:
+    """The ``parallel`` axis: serial vs pooled sweep over a whole batch.
+
+    Maps :func:`run_scenario` over ``param_sets`` twice through
+    :class:`~repro.parallel.runner.SweepRunner` — once with one worker
+    (in-process) and once with ``workers`` processes (shared-memory
+    trace shipping enabled) — and requires position-wise identical
+    outcome signatures.  Returns the per-config signatures.
+    """
+    from repro.parallel.runner import SweepRunner
+
+    if len(param_sets) == 0:
+        return []
+    jobs = [dict(p, telemetry="recorder") for p in param_sets]
+    serial = SweepRunner(workers=1).map(run_scenario, jobs)
+    pooled = SweepRunner(workers=workers).map(run_scenario, jobs)
+    signatures: List[str] = []
+    for params, a, b in zip(jobs, serial, pooled):
+        signatures.append(
+            _compare("parallel", params, a, b, include_telemetry=True)
+        )
+    return signatures

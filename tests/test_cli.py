@@ -101,3 +101,25 @@ class TestMlet:
         out = capsys.readouterr().out
         assert "sequential" in out
         assert "staggered-64" in out
+
+
+class TestVerify:
+    def test_small_fuzz_passes(self, capsys):
+        code = main([
+            "verify", "--seed", "7", "--configs", "3",
+            "--axes", "kernel-twin",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verify fuzz [OK]: 3/3 configs passed" in out
+
+    def test_self_test_alone(self, capsys):
+        code = main(["verify", "--self-test", "--configs", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "self-test: 6/6 planted bugs caught" in out
+        assert "cursor-drift" in out
+
+    def test_bad_axis_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "--axes", "chaos"])

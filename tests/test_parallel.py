@@ -287,3 +287,41 @@ class TestWorkerCrashResilience:
             _fatal, [{"value": 3}, {"value": 4}]
         )
         assert results == [3, 4]
+
+
+class TestCachePoisoning:
+    """A poisoned on-disk entry must degrade to recomputation.
+
+    Torn writes can't happen (put() is atomic), but a cache directory
+    shared over NFS, hit by a disk-full mid-copy, or corrupted by an
+    unrelated process can still hand the runner garbage; the sweep's
+    results must not change.
+    """
+
+    def test_truncated_entry_is_discarded_and_recomputed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key(_square, {"x": 7})
+        cache.put(key, 49)
+        path = cache._path(key)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])  # partial copy
+        runner = SweepRunner(workers=0, cache=cache)
+        assert runner.map(_square, [{"x": 7}]) == [49]
+        assert runner.executed == 1  # recomputed, not served from cache
+        assert cache.misses >= 1
+        hit, value = cache.get(key)  # and the entry was repaired
+        assert hit and value == 49
+
+    def test_poisoned_scenario_outcome_recomputes_identically(self, tmp_path):
+        from repro.verify import outcome_signature, run_scenario
+
+        params = {"horizon": 0.2, "seed": 3, "telemetry": "recorder"}
+        cache = ResultCache(tmp_path)
+        clean = SweepRunner(workers=1, cache=cache).map(run_scenario, [params])
+        cache._path(cache.key(run_scenario, params)).write_bytes(
+            b"\x80\x04poison"
+        )
+        recomputed = SweepRunner(
+            workers=1, cache=ResultCache(tmp_path)
+        ).map(run_scenario, [params])
+        assert outcome_signature(recomputed[0]) == outcome_signature(clean[0])

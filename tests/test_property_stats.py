@@ -1,0 +1,212 @@
+"""Property-based tests: hazard estimators, idle summary, trace digest.
+
+Runs under hypothesis when available (the container bakes it in); when
+it is not, each property falls back to a seeded-random sweep over the
+same input space, so the suite loses example diversity but never
+coverage.
+"""
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro.stats.hazard import (
+    expected_remaining,
+    fraction_intervals_longer,
+    percentile_remaining,
+    usable_fraction,
+)
+from repro.stats.idle import summarize_idle
+from repro.traces.io import read_csv_trace, write_csv_trace
+from repro.traces.record import Trace
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - the container ships hypothesis
+    HAVE_HYPOTHESIS = False
+
+_FALLBACK_EXAMPLES = 60
+
+
+def _fallback_durations(rng):
+    n = int(rng.integers(1, 120))
+    scale = float(rng.choice([1e-3, 0.1, 1.0, 100.0]))
+    # Mix of exponential (memoryless) and Pareto-ish (heavy) shapes.
+    if rng.integers(2):
+        return rng.exponential(scale, n) + 1e-9
+    return scale * (1.0 + rng.pareto(1.5, n))
+
+
+def durations_property(test):
+    """Drive ``test(durations=...)`` with hypothesis or seeded random."""
+    if HAVE_HYPOTHESIS:
+        strategy = st.lists(
+            st.floats(1e-6, 1e4, allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=120,
+        ).map(lambda xs: np.asarray(xs, dtype=float))
+        return settings(max_examples=100, deadline=None)(
+            given(durations=strategy)(test)
+        )
+
+    @functools.wraps(test)
+    def fallback():
+        rng = np.random.default_rng(20120625)  # DSN 2012
+        for _ in range(_FALLBACK_EXAMPLES):
+            test(durations=_fallback_durations(rng))
+
+    return fallback
+
+
+@durations_property
+def test_expected_remaining_properties(durations):
+    taus = np.array([0.0, durations.min() / 2, float(np.median(durations))])
+    out = expected_remaining(durations, taus)
+    # At tau=0 every interval survives: the answer is the plain mean.
+    assert out[0] == pytest.approx(durations.mean())
+    # Conditional on survival, the remaining time is strictly positive.
+    alive = ~np.isnan(out)
+    assert np.all(out[alive] > 0)
+    # Beyond the largest observation nothing survives: NaN, not garbage.
+    beyond = expected_remaining(durations, np.array([durations.max() * 2]))
+    assert np.isnan(beyond[0])
+
+
+@durations_property
+def test_percentile_remaining_bounds(durations):
+    taus = np.array([0.0, float(np.median(durations)) / 2])
+    out = percentile_remaining(durations, taus, q=1.0)
+    alive = ~np.isnan(out)
+    assert np.all(out[alive] >= 0)
+    # The 1st percentile of D - tau can never exceed max(D) - tau.
+    assert np.all(out[alive] <= durations.max() - taus[alive] + 1e-9)
+    # And never exceeds the conditional mean's own upper bound either.
+    assert np.all(out[alive] <= durations.max() + 1e-9)
+
+
+@durations_property
+def test_usable_fraction_monotone_in_tau(durations):
+    taus = np.linspace(0, durations.max(), 8)
+    out = usable_fraction(durations, taus)
+    # Waiting zero forfeits nothing; waiting longer only loses.
+    assert out[0] == pytest.approx(1.0)
+    assert np.all(out <= 1.0 + 1e-9)
+    assert np.all(out >= -1e-9)
+    assert np.all(np.diff(out) <= 1e-9)
+
+
+@durations_property
+def test_fraction_intervals_longer_is_survival_curve(durations):
+    taus = np.linspace(0, durations.max() * 1.1, 8)
+    out = fraction_intervals_longer(durations, taus)
+    assert np.all((0 <= out) & (out <= 1))
+    assert np.all(np.diff(out) <= 1e-12)  # non-increasing
+    assert out[-1] == 0.0  # nothing outlives a tau beyond the max
+
+
+@durations_property
+def test_summarize_idle_matches_numpy(durations):
+    stats = summarize_idle(durations, span=float(durations.sum()) * 2)
+    assert stats.count == len(durations)
+    assert stats.mean == pytest.approx(durations.mean())
+    assert stats.variance == pytest.approx(durations.var())
+    assert stats.cov == pytest.approx(
+        np.sqrt(durations.var()) / durations.mean()
+    )
+    assert stats.total_idle == pytest.approx(durations.sum())
+    assert 0 <= stats.idle_fraction <= 1
+
+
+def test_summarize_idle_input_validation():
+    with pytest.raises(ValueError, match="empty"):
+        summarize_idle(np.array([]))
+    with pytest.raises(ValueError, match="positive"):
+        summarize_idle(np.array([1.0, 0.0]))
+    with pytest.raises(ValueError, match="span"):
+        summarize_idle(np.array([1.0]), span=-1.0)
+
+
+def test_hazard_input_validation():
+    with pytest.raises(ValueError, match="empty"):
+        expected_remaining(np.array([]), np.array([0.0]))
+    with pytest.raises(ValueError, match="non-negative"):
+        usable_fraction(np.array([-1.0, 2.0]), np.array([0.0]))
+    with pytest.raises(ValueError, match="percentile"):
+        percentile_remaining(np.array([1.0]), np.array([0.0]), q=0.0)
+
+
+# -- Trace digest canonicalisation -------------------------------------------
+
+
+def _random_trace(rng, n=None):
+    """A valid random trace with microsecond-quantised times.
+
+    The canonical CSV dialect formats times with ``%.6f``, so only
+    microsecond-aligned traces survive a round trip bit-exactly — which
+    is exactly the class the digest-invariance property quantifies over.
+    """
+    n = n if n is not None else int(rng.integers(1, 200))
+    times = np.sort(rng.integers(0, 10_000_000, n)) / 1e6
+    lbns = rng.integers(0, 1 << 30, n)
+    sectors = rng.integers(1, 256, n)
+    is_write = rng.integers(0, 2, n).astype(bool)
+    return Trace(
+        times, lbns, sectors, is_write,
+        name="prop", capacity_sectors=1 << 31,
+    )
+
+
+class TestTraceDigest:
+    def test_digest_invariant_under_chunking(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            trace = _random_trace(rng)
+            chunk = max(1, len(trace) // 7)
+            pieces = [
+                Trace(
+                    trace.times[i:i + chunk],
+                    trace.lbns[i:i + chunk],
+                    trace.sectors[i:i + chunk],
+                    trace.is_write[i:i + chunk],
+                    name=trace.name,
+                    capacity_sectors=trace.capacity_sectors,
+                    validate=False,
+                )
+                for i in range(0, len(trace), chunk)
+            ]
+            rebuilt = Trace(
+                np.concatenate([p.times for p in pieces]),
+                np.concatenate([p.lbns for p in pieces]),
+                np.concatenate([p.sectors for p in pieces]),
+                np.concatenate([p.is_write for p in pieces]),
+                name="renamed",  # metadata must not participate
+                capacity_sectors=trace.capacity_sectors,
+            )
+            assert rebuilt.digest() == trace.digest()
+
+    def test_digest_invariant_under_gzip_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(1)
+        for i in range(10):
+            trace = _random_trace(rng)
+            path = tmp_path / f"t{i}.csv.gz"
+            write_csv_trace(trace, path)
+            back = read_csv_trace(path)
+            assert back.digest() == trace.digest()
+
+    def test_digest_sensitive_to_content_and_capacity(self):
+        rng = np.random.default_rng(2)
+        trace = _random_trace(rng, n=50)
+        bumped = Trace(
+            trace.times, trace.lbns + 1, trace.sectors, trace.is_write,
+            capacity_sectors=trace.capacity_sectors,
+        )
+        assert bumped.digest() != trace.digest()
+        recapped = Trace(
+            trace.times, trace.lbns, trace.sectors, trace.is_write,
+            capacity_sectors=(trace.capacity_sectors or 0) + 1,
+        )
+        assert recapped.digest() != trace.digest()

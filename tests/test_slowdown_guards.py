@@ -1,0 +1,83 @@
+"""Regression tests for ``ReplayResult.mean_slowdown_vs`` guard rails.
+
+A positional slowdown comparison is only meaningful between runs of
+the same trace over the same horizon with comparable completion
+counts; each guard has a documented message users grep for, so the
+exact wording is part of the contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.replay_cdf import _SLOWDOWN_TAIL_TOLERANCE, ReplayResult
+
+
+def _result(horizon=10.0, n=100, base=0.004, digest="a" * 64):
+    return ReplayResult(
+        horizon=horizon,
+        fg_response_times=np.full(n, base),
+        fg_requests=n,
+        scrub_bytes=0,
+        scrub_requests=0,
+        trace_digest=digest,
+    )
+
+
+class TestGuardRails:
+    def test_cross_trace_rejected(self):
+        scrub = _result(digest="a" * 64)
+        baseline = _result(digest="b" * 64)
+        with pytest.raises(
+            ValueError, match="cannot compare slowdown across different traces"
+        ) as exc:
+            scrub.mean_slowdown_vs(baseline)
+        # The message names both digests (truncated) for debugging.
+        assert "aaaaaaaaaaaa" in str(exc.value)
+        assert "bbbbbbbbbbbb" in str(exc.value)
+
+    def test_cross_horizon_rejected(self):
+        scrub = _result(horizon=10.0)
+        baseline = _result(horizon=20.0)
+        with pytest.raises(
+            ValueError,
+            match="cannot compare slowdown across different horizons",
+        ) as exc:
+            scrub.mean_slowdown_vs(baseline)
+        assert "10.0" in str(exc.value) and "20.0" in str(exc.value)
+
+    def test_tail_divergence_rejected(self):
+        scrub = _result(n=100)
+        baseline = _result(n=50)  # 2x divergence >> 25% tolerance
+        with pytest.raises(
+            ValueError, match="completed-request counts diverge too far"
+        ) as exc:
+            scrub.mean_slowdown_vs(baseline)
+        assert "100 vs 50" in str(exc.value)
+
+    def test_no_common_requests_rejected(self):
+        scrub = _result(n=0)
+        baseline = _result(n=0)
+        with pytest.raises(ValueError, match="no common completed requests"):
+            scrub.mean_slowdown_vs(baseline)
+
+
+class TestAllowedComparisons:
+    def test_same_run_is_zero(self):
+        result = _result()
+        assert result.mean_slowdown_vs(result) == 0.0
+
+    def test_tail_within_tolerance_allowed(self):
+        # A scrubber delaying a tail of completions past the horizon is
+        # the legitimate case the tolerance exists for.
+        n = 100
+        delayed = int(n * (1 - _SLOWDOWN_TAIL_TOLERANCE) + 1)
+        scrub = _result(n=delayed, base=0.006)
+        baseline = _result(n=n, base=0.004)
+        assert scrub.mean_slowdown_vs(baseline) == pytest.approx(0.002)
+
+    def test_legacy_results_without_digest_compare(self):
+        # Results pickled before the digest field existed must still
+        # compare (the digest guard is best-effort, not a lockout).
+        scrub = _result(digest=None)
+        baseline = _result(digest="b" * 64)
+        assert scrub.mean_slowdown_vs(baseline) == 0.0

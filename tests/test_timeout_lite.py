@@ -1,0 +1,71 @@
+"""Tests for the lite per-test timeout plugin (tools.pytest_timeout_lite).
+
+Three contracts: a timed-out test fails (it is not swallowed, even by
+its own ``except Exception``), the failure message names the test's
+node id, and neither the alarm handler nor a pending timer leaks into
+whatever runs next.
+"""
+
+import signal
+
+import pytest
+
+pytest_plugins = ["pytester"]
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(signal, "SIGALRM"), reason="plugin is SIGALRM-based"
+)
+
+_WEDGED_SUITE = """
+    import time
+
+    def test_wedges():
+        # A retry loop that swallows every Exception: the timeout must
+        # still get through (TestTimeout derives from BaseException).
+        try:
+            while True:
+                time.sleep(0.01)
+        except Exception:
+            pass
+
+    def test_after_still_runs():
+        # The previous timeout must not have left a stale handler or a
+        # ticking timer behind: sleeping here would re-fire it.
+        time.sleep(0.15)
+"""
+
+
+def test_timeout_fails_with_test_id_and_no_leak(pytester):
+    pytester.makepyfile(test_wedge=_WEDGED_SUITE)
+    result = pytester.runpytest(
+        "-p", "tools.pytest_timeout_lite", "--lite-timeout", "0.3"
+    )
+    result.assert_outcomes(failed=1, passed=1)
+    result.stdout.fnmatch_lines(
+        ["*test_wedge.py::test_wedges exceeded the 0.3s per-test timeout*"]
+    )
+
+
+def test_handler_restored_after_session(pytester):
+    before = signal.getsignal(signal.SIGALRM)
+    pytester.makepyfile(test_wedge=_WEDGED_SUITE)
+    result = pytester.runpytest(
+        "-p", "tools.pytest_timeout_lite", "--lite-timeout", "0.3"
+    )
+    result.assert_outcomes(failed=1, passed=1)
+    assert signal.getsignal(signal.SIGALRM) is before
+
+
+def test_zero_timeout_disables(pytester):
+    pytester.makepyfile(
+        """
+        import time
+
+        def test_slow_but_fine():
+            time.sleep(0.2)
+        """
+    )
+    result = pytester.runpytest(
+        "-p", "tools.pytest_timeout_lite", "--lite-timeout", "0"
+    )
+    result.assert_outcomes(passed=1)

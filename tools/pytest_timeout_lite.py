@@ -9,8 +9,8 @@ wedges instead of hanging CI forever.  Load it explicitly::
 Limits apply to the test call phase on the main thread via
 ``SIGALRM``/``setitimer``, so this is POSIX-only; on platforms without
 ``SIGALRM`` the option degrades to a no-op rather than breaking the
-run.  A fired timeout raises inside the test and is reported as an
-ordinary failure with a ``Timeout`` message.
+run.  A fired timeout raises inside the test and is reported as a
+failure whose message names the timed-out test's node id.
 """
 
 from __future__ import annotations
@@ -20,8 +20,14 @@ import signal
 import pytest
 
 
-class TestTimeout(Exception):
-    """A test exceeded its --lite-timeout budget."""
+class TestTimeout(BaseException):
+    """A test exceeded its --lite-timeout budget.
+
+    Derives from ``BaseException`` (like ``KeyboardInterrupt``) so a
+    test's own ``except Exception`` retry loop cannot swallow the
+    timeout and wedge the run regardless — the whole point of the
+    plugin is that *no* test body gets to outstay its budget.
+    """
 
 
 def pytest_addoption(parser):
