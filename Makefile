@@ -4,7 +4,7 @@
 PYTHON ?= python
 TIMEOUT ?= 120
 
-.PHONY: tier1 smoke bench bench-telemetry bench-replay bench-verify verify-fuzz check
+.PHONY: tier1 smoke bench bench-telemetry bench-replay bench-verify bench-kernel verify-fuzz check
 
 # The ROADMAP tier-1 verify, with a per-test wall-clock limit so a
 # wedged test fails fast instead of hanging CI (tools/pytest_timeout_lite).
@@ -46,6 +46,16 @@ bench-replay:
 bench-verify:
 	PYTHONPATH=src $(PYTHON) benchmarks/perf_verify.py
 	PYTHONPATH=src:. $(PYTHON) -m pytest -q benchmarks/test_perf_verify.py \
+		-p tools.pytest_timeout_lite --lite-timeout $(TIMEOUT) \
+		-p no:cacheprovider --override-ini testpaths=benchmarks
+
+# Vector-kernel gate: the numpy batch-advance backend must beat the
+# reference engine by 4x on the 1M-event churn workload with
+# bit-identical results across the Fig. 7 grid, repro detect and all
+# three scenario families (writes BENCH_PR6.json).
+bench-kernel:
+	PYTHONPATH=src $(PYTHON) benchmarks/run_perf.py
+	PYTHONPATH=src:. $(PYTHON) -m pytest -q benchmarks/test_perf_kernel_vector.py \
 		-p tools.pytest_timeout_lite --lite-timeout $(TIMEOUT) \
 		-p no:cacheprovider --override-ini testpaths=benchmarks
 

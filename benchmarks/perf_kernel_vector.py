@@ -1,0 +1,308 @@
+"""Vector-kernel benchmark: reference engine vs the numpy batch kernel.
+
+Runs a 1M-event workload through both the reference ``Simulation`` and
+the :class:`repro.sim.VectorSimulation` batch-advance backend and
+reports per-phase and total speedups.  Three phases cover the shapes
+the vector kernel was built for — and one it was not:
+
+* ``batch_timer_churn`` — a process pre-schedules a replay window's
+  worth of pure timers, then the engine drains them to the next
+  decision point.  The reference kernel pays a ``heappush``/``heappop``
+  pair per timer; the vector kernel absorbs the whole window with one
+  ``schedule_timers`` call and retires it with one ``searchsorted``.
+* ``mixed_decision`` — small timer batches interleaved with process
+  decision points, so every batch boundary is exercised (absorb, merge,
+  bulk-skip, resume).
+* ``process_churn`` — short-lived processes yielding individual
+  timeouts.  This is the honesty row: the code is identical under both
+  kernels and the expected speedup is ~1x, because generator resumption
+  is a decision point the vector kernel cannot batch past.
+
+Every phase asserts that both kernels finish at the *same* simulated
+clock — the speedup is only meaningful if the two backends did the
+same work.
+
+Timings use ``time.process_time`` (CPU time) with min-of-N interleaved
+repetitions, so results are stable on shared/noisy machines.  The
+module also carries :func:`run_timer_pool_benchmark`, the PR 6
+allocation-reduction microbenchmark: a pooled
+:class:`~repro.sim.ReusableTimeout` re-armed in place vs a fresh
+``Timeout`` object per wait on the reference kernel.
+
+Run directly (``PYTHONPATH=src python benchmarks/perf_kernel_vector.py``)
+or via ``benchmarks/run_perf.py`` / ``repro bench``, which also write
+``BENCH_PR6.json`` and enforce the 4x gate.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro.sim import ReusableTimeout, make_simulation
+
+#: Phase event budgets; they sum to the 1M-event headline workload.
+#: The split mirrors the profile of a trace-replay experiment: most
+#: events are pre-schedulable timers, a minority are decision points.
+PHASES = {
+    "batch_timer_churn": 700_000,
+    "mixed_decision": 200_000,
+    "process_churn": 100_000,
+}
+
+#: Pre-scheduled wave size for the batch phase: one trace-replay
+#: window's worth of arrivals.
+BATCH_WAVE = 350_000
+
+#: Timers per decision point in the mixed phase.
+MIXED_BATCH = 200
+
+
+# -- workloads (take the kernel name; return the final clock) -------------
+
+
+def batch_timer_churn(kernel: str, events: int) -> float:
+    """Pre-schedule a window of pure timers, drain it, repeat."""
+    sim = make_simulation(kernel)
+    wave = min(events, BATCH_WAVE)
+    waves = max(1, events // wave)
+    if kernel == "vector":
+        delays = (np.arange(wave - 1, dtype=np.float64) % 97) + 1.0
+
+        def producer(sim):
+            for _ in range(waves):
+                sim.schedule_timers(delays)
+                # Yield past the wave so the backbone drains fully
+                # before the next window is absorbed.
+                yield sim.timeout(100.0)
+
+    else:
+        timeout = sim.timeout
+
+        def producer(sim):
+            for _ in range(waves):
+                for i in range(wave - 1):
+                    timeout((i % 97) + 1.0)
+                yield sim.timeout(100.0)
+
+    sim.process(producer(sim))
+    sim.run()
+    return sim.now
+
+
+def mixed_decision(kernel: str, events: int) -> float:
+    """Small timer batches interleaved with process decision points."""
+    sim = make_simulation(kernel)
+    rounds = max(1, events // (MIXED_BATCH + 1))
+    if kernel == "vector":
+        delays = (np.arange(MIXED_BATCH, dtype=np.float64) % 13) + 0.25
+
+        def churner(sim):
+            for _ in range(rounds):
+                sim.schedule_timers(delays)
+                yield sim.timeout(20.0)
+
+    else:
+        timeout = sim.timeout
+
+        def churner(sim):
+            for _ in range(rounds):
+                for i in range(MIXED_BATCH):
+                    timeout((i % 13) + 0.25)
+                yield sim.timeout(20.0)
+
+    sim.process(churner(sim))
+    sim.run()
+    return sim.now
+
+
+def process_churn(kernel: str, events: int) -> float:
+    """Batches of short-lived processes, two yields each (honesty row)."""
+    sim = make_simulation(kernel)
+    workers = events // 4
+    batch = 200
+
+    def worker(sim):
+        yield sim.timeout(1.0)
+        yield sim.timeout(1.0)
+
+    def spawner(sim):
+        spawned = 0
+        while spawned < workers:
+            for _ in range(min(batch, workers - spawned)):
+                sim.process(worker(sim))
+            spawned += batch
+            yield sim.timeout(3.0)
+
+    sim.process(spawner(sim))
+    sim.run()
+    return sim.now
+
+
+WORKLOADS = {
+    "batch_timer_churn": batch_timer_churn,
+    "mixed_decision": mixed_decision,
+    "process_churn": process_churn,
+}
+
+
+# -- measurement ----------------------------------------------------------
+
+
+def _time_once(workload, kernel: str, events: int) -> tuple:
+    start = time.process_time()
+    now = workload(kernel, events)
+    return time.process_time() - start, now
+
+
+def run_vector_benchmark(scale: float = 1.0, reps: int = 3) -> dict:
+    """Measure every phase on both backends; returns the result record.
+
+    Repetitions interleave the two kernels (reference, vector,
+    reference, vector, ...) and each side keeps its minimum, cancelling
+    slow drift on a loaded machine.  Each phase asserts both backends
+    reach the same simulated clock.
+    """
+    phases = {}
+    total_reference = 0.0
+    total_vector = 0.0
+    total_events = 0
+    for name, budget in PHASES.items():
+        events = max(1000, int(budget * scale))
+        workload = WORKLOADS[name]
+        # Warm both backends once (allocator, code objects).
+        _time_once(workload, "reference", 1000)
+        _time_once(workload, "vector", 1000)
+        reference_best = float("inf")
+        vector_best = float("inf")
+        reference_now = vector_now = None
+        for _ in range(reps):
+            elapsed, reference_now = _time_once(workload, "reference", events)
+            reference_best = min(reference_best, elapsed)
+            elapsed, vector_now = _time_once(workload, "vector", events)
+            vector_best = min(vector_best, elapsed)
+        assert reference_now == vector_now, (
+            f"{name}: backends diverged at clock "
+            f"{reference_now} vs {vector_now}"
+        )
+        phases[name] = {
+            "kernel": "vector",
+            "events": events,
+            "reference_s": round(reference_best, 4),
+            "vector_s": round(vector_best, 4),
+            "speedup": round(reference_best / vector_best, 3)
+            if vector_best > 0
+            else float("inf"),
+        }
+        total_reference += reference_best
+        total_vector += vector_best
+        total_events += events
+    return {
+        "workload": "batch-advance vector kernel vs reference engine",
+        "timer": "time.process_time (CPU), min of interleaved reps",
+        "reps": reps,
+        "events": total_events,
+        "phases": phases,
+        "total": {
+            "reference_s": round(total_reference, 4),
+            "vector_s": round(total_vector, 4),
+            "speedup": round(total_reference / total_vector, 3)
+            if total_vector > 0
+            else float("inf"),
+        },
+    }
+
+
+def run_timer_pool_benchmark(waits: int = 200_000, reps: int = 3) -> dict:
+    """PR 6 allocation reduction: pooled vs fresh timer on the reference
+    kernel.
+
+    A single process performs ``waits`` sequential sleeps.  The
+    ``fresh`` side allocates a new ``Timeout`` event per wait (the PR 1
+    hot path); the ``pooled`` side re-arms one
+    :class:`~repro.sim.ReusableTimeout` in place, which is what the
+    scrubber's delay loop and the device dispatcher's recheck timer do
+    since this PR.
+    """
+
+    def fresh() -> float:
+        sim = make_simulation("reference")
+
+        def sleeper(sim):
+            for _ in range(waits):
+                yield sim.timeout(1.0)
+
+        sim.process(sleeper(sim))
+        sim.run()
+        return sim.now
+
+    def pooled() -> float:
+        sim = make_simulation("reference")
+
+        def sleeper(sim):
+            timer = ReusableTimeout(sim)
+            for _ in range(waits):
+                yield timer.arm(1.0)
+
+        sim.process(sleeper(sim))
+        sim.run()
+        return sim.now
+
+    fresh_best = float("inf")
+    pooled_best = float("inf")
+    for _ in range(reps):
+        start = time.process_time()
+        fresh_now = fresh()
+        fresh_best = min(fresh_best, time.process_time() - start)
+        start = time.process_time()
+        pooled_now = pooled()
+        pooled_best = min(pooled_best, time.process_time() - start)
+    assert fresh_now == pooled_now, "pooled timer changed the clock"
+    return {
+        "kernel": "reference",
+        "workload": "sequential sleeps: fresh Timeout vs pooled ReusableTimeout",
+        "waits": waits,
+        "fresh_s": round(fresh_best, 4),
+        "pooled_s": round(pooled_best, 4),
+        "speedup": round(fresh_best / pooled_best, 3)
+        if pooled_best > 0
+        else float("inf"),
+    }
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="event-budget multiplier (use e.g. 0.1 for a quick check)",
+    )
+    parser.add_argument("--reps", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    record = run_vector_benchmark(scale=args.scale, reps=args.reps)
+    print(f"{'phase':<22}{'events':>9}{'reference':>11}{'vector':>9}{'speedup':>9}")
+    for name, row in record["phases"].items():
+        print(
+            f"{name:<22}{row['events']:>9,}{row['reference_s']:>10.3f}s"
+            f"{row['vector_s']:>8.3f}s{row['speedup']:>8.2f}x"
+        )
+    total = record["total"]
+    print(
+        f"{'TOTAL':<22}{record['events']:>9,}{total['reference_s']:>10.3f}s"
+        f"{total['vector_s']:>8.3f}s{total['speedup']:>8.2f}x"
+    )
+    pool = run_timer_pool_benchmark(waits=max(1000, int(200_000 * args.scale)))
+    print(
+        f"timer pool: fresh {pool['fresh_s']:.3f}s -> pooled "
+        f"{pool['pooled_s']:.3f}s ({pool['speedup']:.2f}x on "
+        f"{pool['waits']:,} waits)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,19 +1,34 @@
-"""Perf smoke check: kernel microbenchmark + cached sweep -> BENCH_PR1.json.
+"""Perf regression suite: kernel benchmarks + cached sweep -> BENCH_PR6.json.
 
-Runs two measurements and writes the combined record to
-``BENCH_PR1.json`` at the repo root:
+Runs four measurements and writes one combined, machine-stable record
+(keys sorted, every row tagged with the ``kernel`` it measures) to
+``BENCH_PR6.json`` at the repo root:
 
-1. the kernel microbenchmark (``perf_kernel.py``): the 1M-event
-   timeout/process churn workload on the frozen seed kernel vs the
-   current kernel;
-2. a Table-III-style optimizer sweep through
+1. ``kernel_churn`` — the PR 1 microbenchmark (``perf_kernel.py``):
+   the 1M-event timeout/process churn workload on the frozen seed
+   kernel vs the current reference kernel;
+2. ``kernel_vector`` — the PR 6 headline (``perf_kernel_vector.py``):
+   the same 1M-event budget on the reference kernel vs the numpy
+   batch-advance vector kernel, gated at 4x;
+3. ``timer_pool`` — the PR 6 allocation-reduction satellite: pooled
+   ``ReusableTimeout`` re-arm vs a fresh ``Timeout`` per wait on the
+   reference kernel's schedule() hot path;
+4. ``sweep_cache`` — a Table-III-style optimizer sweep through
    :class:`repro.parallel.SweepRunner` with a fresh on-disk
-   :class:`~repro.parallel.ResultCache` — cold (every size simulated)
-   vs warm (every size a cache hit, zero simulations).
+   :class:`~repro.parallel.ResultCache` — cold vs warm.
+
+The record layout is stable across machines: ``json.dumps(...,
+sort_keys=True)``, deterministic row names, and no timestamps or host
+identifiers — two runs differ only in the measured seconds.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_perf.py [--scale 0.1] [--output PATH]
+    PYTHONPATH=src python benchmarks/run_perf.py [--scale 0.1] [--quick]
+        [--output PATH]
+
+or, from anywhere inside a checkout, ``python -m repro bench``.
+``--quick`` is a smoke mode: scaled-down event budgets and no speedup
+gate (the gate is only meaningful at full scale).
 """
 
 from __future__ import annotations
@@ -28,6 +43,10 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from perf_kernel import run_kernel_benchmark  # noqa: E402
+from perf_kernel_vector import (  # noqa: E402
+    run_timer_pool_benchmark,
+    run_vector_benchmark,
+)
 
 from repro import __version__  # noqa: E402
 from repro.analysis.service_model import ScrubServiceModel  # noqa: E402
@@ -38,6 +57,11 @@ from repro.traces import generate_trace  # noqa: E402
 from repro.traces.catalog import trace_idle_intervals  # noqa: E402
 
 GOALS_MS = [1.0, 2.0, 4.0]
+
+#: The PR 6 acceptance gate: total vector-vs-reference speedup on the
+#: 1M-event churn workload.  `make bench-kernel` re-asserts this via
+#: benchmarks/test_perf_kernel_vector.py.
+VECTOR_SPEEDUP_GATE = 4.0
 
 
 def run_cached_sweep() -> dict:
@@ -68,6 +92,7 @@ def run_cached_sweep() -> dict:
     assert cold == warm, "cache must reproduce the cold results exactly"
     assert warm_runner.executed == 0, "warm sweep must execute zero tasks"
     return {
+        "kernel": "reference",
         "sweep": "optimizer sweep, MSRsrc11 1h trace, goals 1/2/4 ms",
         "tasks": cold_runner.executed,
         "cold_s": round(cold_s, 4),
@@ -86,18 +111,50 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--reps", type=int, default=3)
     parser.add_argument(
-        "--output", default=str(Path(__file__).resolve().parent.parent / "BENCH_PR1.json"),
+        "--quick", action="store_true",
+        help="smoke mode: 0.05x event budgets, no speedup gates",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR6.json"),
     )
     args = parser.parse_args(argv)
+    if args.output is None:
+        args.output = str(
+            Path(__file__).resolve().parent.parent / "BENCH_PR6.json"
+        )
+    scale = 0.05 if args.quick else args.scale
 
-    print("== kernel microbenchmark ==")
-    kernel = run_kernel_benchmark(scale=args.scale, reps=args.reps)
-    for name, row in kernel["phases"].items():
+    print("== seed kernel vs reference kernel ==")
+    churn = dict(run_kernel_benchmark(scale=scale, reps=args.reps))
+    churn["kernel"] = "reference"
+    for name, row in churn["phases"].items():
         print(
             f"  {name:<22}{row['events']:>9,} ev  legacy {row['legacy_s']:.3f}s"
             f"  new {row['new_s']:.3f}s  {row['speedup']:.2f}x"
         )
-    print(f"  total: {kernel['total']['speedup']:.2f}x on {kernel['events']:,} events")
+    print(f"  total: {churn['total']['speedup']:.2f}x on {churn['events']:,} events")
+
+    print("== reference kernel vs vector kernel ==")
+    vector = dict(run_vector_benchmark(scale=scale, reps=args.reps))
+    vector["kernel"] = "vector"
+    for name, row in vector["phases"].items():
+        print(
+            f"  {name:<22}{row['events']:>9,} ev  reference "
+            f"{row['reference_s']:.3f}s  vector {row['vector_s']:.3f}s  "
+            f"{row['speedup']:.2f}x"
+        )
+    print(
+        f"  total: {vector['total']['speedup']:.2f}x on "
+        f"{vector['events']:,} events"
+    )
+
+    print("== pooled timer vs fresh timer (reference kernel) ==")
+    pool = run_timer_pool_benchmark(waits=max(1000, int(200_000 * scale)))
+    print(
+        f"  fresh {pool['fresh_s']:.3f}s -> pooled {pool['pooled_s']:.3f}s "
+        f"({pool['speedup']:.2f}x on {pool['waits']:,} waits)"
+    )
 
     print("== cached optimizer sweep ==")
     sweep = run_cached_sweep()
@@ -110,15 +167,34 @@ def main(argv=None) -> int:
     record = {
         "version": __version__,
         "python": sys.version.split()[0],
-        "kernel": kernel,
-        "sweep_cache": sweep,
+        "rows": {
+            "kernel_churn": churn,
+            "kernel_vector": vector,
+            "timer_pool": pool,
+            "sweep_cache": sweep,
+        },
     }
-    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+    Path(args.output).write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n"
+    )
     print(f"wrote {args.output}")
-    if kernel["total"]["speedup"] < 2.0:
-        print("WARNING: kernel speedup below the 2x target", file=sys.stderr)
-        return 1
-    return 0
+    if args.quick:
+        return 0
+    status = 0
+    if churn["total"]["speedup"] < 2.0:
+        print(
+            "WARNING: reference-kernel speedup below the 2x target",
+            file=sys.stderr,
+        )
+        status = 1
+    if vector["total"]["speedup"] < VECTOR_SPEEDUP_GATE:
+        print(
+            f"WARNING: vector-kernel speedup below the "
+            f"{VECTOR_SPEEDUP_GATE:.0f}x gate",
+            file=sys.stderr,
+        )
+        status = 1
+    return status
 
 
 if __name__ == "__main__":

@@ -1,0 +1,124 @@
+"""Tier gate for the vector kernel (``make bench-kernel``).
+
+Two halves:
+
+1. **Speedup** — the PR 6 acceptance criterion: the numpy
+   batch-advance kernel must beat the reference engine by >= 4x on the
+   full 1M-event churn workload (clock parity is asserted inside
+   ``run_vector_benchmark``), and the pooled-timer satellite must not
+   be slower than the fresh-timer path it replaces.
+2. **Bit-identity** — the speedup only counts if the answers match:
+   the Fig. 7 replay grid and the ``repro detect`` experiment must
+   produce *identical* results under both kernels, across all three
+   scenario families.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from perf_kernel_vector import (  # noqa: E402
+    run_timer_pool_benchmark,
+    run_vector_benchmark,
+)
+
+from repro.analysis.detection import detection_sweep_task  # noqa: E402
+from repro.analysis.impact import ScrubberSetup  # noqa: E402
+from repro.analysis.replay_cdf import (  # noqa: E402
+    clear_baseline_memo,
+    replay_slowdown_task,
+)
+from repro.traces import generate_trace  # noqa: E402
+from repro.verify import outcome_signature, run_scenario  # noqa: E402
+
+#: The Fig. 7 legend: CFQ-sequential, CFQ-staggered, Waiting.
+FIG7_CONFIGS = {
+    "cfq-sequential": dict(scrubber=ScrubberSetup(algorithm="sequential")),
+    "cfq-staggered": dict(
+        scrubber=ScrubberSetup(algorithm="staggered", regions=128)
+    ),
+    "waiting-100ms": dict(waiting={"threshold": 0.1, "request_bytes": 64 * 1024}),
+}
+
+
+def test_vector_speedup_gate_1m_events():
+    record = run_vector_benchmark(scale=1.0, reps=2)
+    assert record["events"] >= 1_000_000
+    batch = record["phases"]["batch_timer_churn"]
+    assert batch["speedup"] > 4.0, (
+        f"batch phase only {batch['speedup']}x — the bulk-retire path "
+        "regressed"
+    )
+    total = record["total"]["speedup"]
+    assert total >= 4.0, (
+        f"vector kernel only {total}x vs reference on "
+        f"{record['events']:,} events — below the PR 6 acceptance gate"
+    )
+
+
+def test_timer_pool_not_slower():
+    pool = run_timer_pool_benchmark(waits=50_000, reps=2)
+    assert pool["speedup"] > 0.95, (
+        f"pooled ReusableTimeout is {pool['speedup']}x vs fresh Timeout — "
+        "the allocation satellite made the hot path slower"
+    )
+
+
+def test_fig7_grid_identical_under_both_kernels():
+    trace = generate_trace("MSRsrc11", duration=120.0, seed=3)
+
+    def grid(kernel: str) -> list:
+        clear_baseline_memo()  # never serve one kernel from the other's memo
+        return [
+            replay_slowdown_task(
+                trace, horizon=30.0, kernel=kernel,
+                **{k: v for k, v in config.items()},
+            )
+            for config in FIG7_CONFIGS.values()
+        ]
+
+    reference = grid("reference")
+    vector = grid("vector")
+    for name, ref, vec in zip(FIG7_CONFIGS, reference, vector):
+        assert ref["mean_slowdown"] == vec["mean_slowdown"], name
+        r, v = ref["result"], vec["result"]
+        assert r.scrub_bytes == v.scrub_bytes, name
+        assert r.fg_requests == v.fg_requests, name
+        assert np.array_equal(r.fg_response_times, v.fg_response_times), name
+
+
+def test_detect_identical_under_both_kernels():
+    def detect(kernel: str) -> list:
+        return [
+            detection_sweep_task(
+                drive="caviar", cylinders=30, algorithm=algorithm,
+                model="bursts", model_params={"inter_burst_mean": 0.5},
+                horizon=0.6, seed=3, cache_bug=bug, kernel=kernel,
+            )
+            for algorithm in ("sequential", "staggered")
+            for bug in (False, True)
+        ]
+
+    for ref, vec in zip(detect("reference"), detect("vector")):
+        assert ref.metrics == vec.metrics
+        assert ref.algorithm == vec.algorithm
+
+
+def test_three_families_identical_under_both_kernels():
+    scenarios = [
+        {"family": "synthetic", "horizon": 0.2, "seed": 3},
+        {"family": "trace-replay", "horizon": 0.2, "seed": 3},
+        {"family": "fault-injected", "model": "bernoulli", "horizon": 0.2,
+         "seed": 3, "cache_enabled": False},
+    ]
+    for params in scenarios:
+        reference = run_scenario(**params, kernel="reference")
+        vector = run_scenario(**params, kernel="vector")
+        assert outcome_signature(reference) == outcome_signature(vector), (
+            params["family"]
+        )

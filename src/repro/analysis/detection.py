@@ -42,7 +42,7 @@ from repro.sched.cfq import CFQScheduler
 from repro.sched.device import BlockDevice
 from repro.sched.noop import NoopScheduler
 from repro.sched.request import PriorityClass
-from repro.sim import RandomStreams, Simulation
+from repro.sim import RandomStreams, make_simulation
 from repro.traces.record import Trace
 from repro.workloads.replay import TraceReplayer
 from repro.workloads.synthetic import RandomReader
@@ -194,6 +194,7 @@ def run_detection_experiment(
     spare_sectors: int = 4096,
     idle_gate: float = 0.010,
     telemetry=None,
+    kernel: str = "reference",
 ) -> DetectionResult:
     """Run one scrub policy against a seeded fault plan for ``horizon`` s.
 
@@ -222,6 +223,9 @@ def run_detection_experiment(
         Optional :class:`~repro.telemetry.TelemetrySink` threaded
         through the whole stack (engine, device, drive, scrubber,
         remediation).  Recording never perturbs the run.
+    kernel:
+        Engine backend (``"reference"`` or ``"vector"``); results are
+        bit-identical across backends.
     """
     if horizon <= 0:
         raise ValueError(f"horizon must be positive: {horizon}")
@@ -232,7 +236,7 @@ def run_detection_experiment(
     plan = build_model(model, **(model_params or {})).generate(
         Drive(spec, cache_enabled=False).total_sectors, horizon, seed
     )
-    sim = Simulation(telemetry=telemetry)
+    sim = make_simulation(kernel, telemetry=telemetry)
     drive = Drive(spec, cache_enabled=cache_enabled)
     faults = MediaFaults(plan, spare_sectors=spare_sectors)
     drive.install_faults(faults)
@@ -313,6 +317,7 @@ def detection_sweep_task(
     feed: str = "arrays",
     request_bytes: int = 64 * 1024,
     collect_telemetry: bool = False,
+    kernel: str = "reference",
 ) -> DetectionResult:
     """Picklable sweep task: one detection run on a shrunk preset drive.
 
@@ -359,6 +364,7 @@ def detection_sweep_task(
         feed=feed,
         request_bytes=request_bytes,
         telemetry=recorder,
+        kernel=kernel,
     )
     if recorder is not None:
         result = replace(result, telemetry=recorder.export())

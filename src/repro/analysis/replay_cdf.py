@@ -36,7 +36,7 @@ from repro.disk.models import PRESETS, DriveSpec
 from repro.sched.cfq import CFQScheduler
 from repro.sched.device import BlockDevice
 from repro.sched.noop import NoopScheduler
-from repro.sim import Simulation
+from repro.sim import make_simulation
 from repro.traces.record import Trace
 from repro.workloads.replay import TraceReplayer
 
@@ -119,6 +119,7 @@ def replay_with_scrubber(
     idle_gate: float = 0.010,
     cache_enabled: bool = False,
     feed: str = "arrays",
+    kernel: str = "reference",
 ) -> ReplayResult:
     """Replay ``trace`` with an optional scrubber.
 
@@ -130,7 +131,9 @@ def replay_with_scrubber(
     ``"arrays"`` (default) uses the batched array cursor,
     ``"records"`` the legacy per-record generator.  The two are
     bit-identical; ``"records"`` exists for A/B benchmarks and as a
-    paranoia switch.
+    paranoia switch.  ``kernel`` selects the engine backend, also
+    bit-identical (neither switch participates in the baseline memo
+    key for that reason).
     """
     if scrubber is not None and waiting is not None:
         raise ValueError("pass either scrubber or waiting, not both")
@@ -141,7 +144,7 @@ def replay_with_scrubber(
     if horizon <= 0:
         raise ValueError("horizon must be positive (empty trace?)")
 
-    sim = Simulation()
+    sim = make_simulation(kernel)
     # The Waiting scrubber self-schedules, so it runs on a plain FIFO
     # device; CFQ is only needed when CFQ itself is the policy.
     scheduler = (
@@ -230,6 +233,7 @@ def replay_baseline(
     feed: str = "arrays",
     memo: bool = True,
     result_cache=None,
+    kernel: str = "reference",
 ) -> ReplayResult:
     """The no-scrub replay of ``trace``, memoized.
 
@@ -275,6 +279,7 @@ def replay_baseline(
         idle_gate=idle_gate,
         cache_enabled=cache_enabled,
         feed=feed,
+        kernel=kernel,
     )
     if result_cache is not None:
         result_cache.put(disk_key, result)
@@ -300,6 +305,7 @@ def replay_slowdown_task(
     cache_enabled: bool = False,
     feed: str = "arrays",
     baseline_memo: bool = True,
+    kernel: str = "reference",
 ) -> dict:
     """Picklable sweep task: one replay config plus its slowdown.
 
@@ -325,6 +331,7 @@ def replay_slowdown_task(
         idle_gate=idle_gate,
         cache_enabled=cache_enabled,
         feed=feed,
+        kernel=kernel,
     )
     baseline = replay_baseline(
         trace,
@@ -334,6 +341,7 @@ def replay_slowdown_task(
         cache_enabled=cache_enabled,
         feed=feed,
         memo=baseline_memo,
+        kernel=kernel,
     )
     return {
         "result": result,

@@ -17,7 +17,7 @@ from repro.disk.drive import Drive
 from repro.disk.models import DriveSpec
 from repro.sched.device import BlockDevice
 from repro.sched.noop import NoopScheduler
-from repro.sim import Simulation
+from repro.sim import make_simulation
 
 
 def standalone_scrub_throughput(
@@ -29,16 +29,18 @@ def standalone_scrub_throughput(
     delay_mode: str = "gap",
     cache_enabled: bool = False,
     telemetry=None,
+    kernel: str = "reference",
 ) -> float:
     """Scrub throughput (bytes/second) with no foreground workload.
 
     ``telemetry`` optionally threads a
     :class:`~repro.telemetry.TelemetrySink` through the run; recording
-    does not change the measured throughput.
+    does not change the measured throughput.  ``kernel`` selects the
+    engine backend; the measured throughput is identical either way.
     """
     if horizon <= 0:
         raise ValueError(f"horizon must be positive: {horizon}")
-    sim = Simulation(telemetry=telemetry)
+    sim = make_simulation(kernel, telemetry=telemetry)
     device = BlockDevice(sim, Drive(spec, cache_enabled=cache_enabled), NoopScheduler())
     scrubber = Scrubber(
         sim,

@@ -16,11 +16,20 @@ Eight commands cover the library's main workflows:
   ``chrome://tracing``) plus a metrics summary;
 * ``verify``    — correctness harness: fuzz seeded configurations
   through the runtime invariant checker and the differential oracle
-  (``--self-test`` plants known bugs and asserts they are caught).
+  (``--self-test`` plants known bugs and asserts they are caught);
+* ``bench``     — run the performance regression suite
+  (``benchmarks/run_perf.py``) and write its machine-stable JSON.
 
 ``throughput``, ``detect`` and ``optimize`` also take ``--telemetry``
 (print a metrics summary table) and, where a simulation runs
 in-process, ``--trace-out FILE`` (write the Chrome trace).
+
+``optimize``, ``throughput``, ``detect``, ``trace`` and ``verify``
+take ``--kernel {reference,vector}`` to select the simulation engine
+backend.  Both backends are bit-identical where the vector kernel
+supports the scenario; a scenario it does *not* support fails fast
+with :class:`~repro.sim.vector.UnsupportedKernelFeature` and exit
+code 2 — it never silently falls back to the reference kernel.
 """
 
 from __future__ import annotations
@@ -162,7 +171,7 @@ def cmd_optimize(args) -> int:
         return 1
     spec = _drive_spec(args.drive)
     print(f"measuring scrub service times on {spec.name}...")
-    model = ScrubServiceModel.from_spec(spec)
+    model = ScrubServiceModel.from_spec(spec, kernel=args.kernel)
     optimizer = ScrubParameterOptimizer(
         durations, len(trace), trace.duration, model,
         max_slowdown=args.max_slowdown_ms / 1e3,
@@ -221,7 +230,7 @@ def cmd_throughput(args) -> int:
     rate = standalone_scrub_throughput(
         spec, algorithm, request_bytes=args.request_kb * 1024,
         horizon=args.horizon, delay=args.delay_ms / 1e3,
-        telemetry=recorder,
+        telemetry=recorder, kernel=args.kernel,
     )
     full_scan_h = spec.capacity_bytes / rate / 3600 if rate else float("inf")
     print(
@@ -328,6 +337,7 @@ def cmd_detect(args) -> int:
             foreground=args.foreground,
             trace=fg_trace,
             collect_telemetry=collect,
+            kernel=args.kernel,
         )
         for algorithm in args.algorithms
         for bug in (False, True)
@@ -388,6 +398,19 @@ def cmd_detect(args) -> int:
 
 
 def cmd_trace(args) -> int:
+    if args.kernel == "vector":
+        # The trace exporter's Recorder runs with wall_time=True and
+        # attributes wall-clock spans to individual events; the vector
+        # kernel retires timer batches in bulk, so per-event wall
+        # attribution is meaningless there.  Fail fast rather than
+        # silently recording garbage or falling back.
+        from repro.sim.vector import UnsupportedKernelFeature
+
+        raise UnsupportedKernelFeature(
+            "repro trace records per-event wall-clock spans, which the "
+            "vector kernel's batch retirement cannot attribute; "
+            "use --kernel reference"
+        )
     if args.trace and args.synthetic:
         print(
             "repro trace: --trace and --synthetic are both foreground "
@@ -542,12 +565,58 @@ def cmd_verify(args) -> int:
         axes=axes,
         parallel_workers=args.workers,
         progress=progress,
+        kernel=args.kernel,
     )
     print(report.summary())
     for failure in report.failures:
         print()
         print(failure.describe())
     return status or (0 if report.ok else 1)
+
+
+def cmd_bench(args) -> int:
+    import os
+
+    # benchmarks/ is not a package; locate it by walking up from the
+    # working directory (a checkout runs `repro bench` from anywhere
+    # inside the tree) and import run_perf from there.
+    probe = os.path.abspath(os.getcwd())
+    bench_dir = None
+    while True:
+        candidate = os.path.join(probe, "benchmarks")
+        if os.path.isfile(os.path.join(candidate, "run_perf.py")):
+            bench_dir = candidate
+            break
+        parent = os.path.dirname(probe)
+        if parent == probe:
+            break
+        probe = parent
+    if bench_dir is None:
+        raise SystemExit(
+            "repro bench: could not find benchmarks/run_perf.py above "
+            f"{os.getcwd()}; run from inside a repository checkout"
+        )
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    import run_perf
+
+    argv = []
+    if args.output:
+        argv += ["--output", args.output]
+    if args.quick:
+        argv.append("--quick")
+    return run_perf.main(argv)
+
+
+def _add_kernel_flag(parser: argparse.ArgumentParser, default="reference") -> None:
+    from repro.sim import KERNELS
+
+    parser.add_argument(
+        "--kernel", choices=KERNELS, default=default,
+        help="simulation engine backend (default %(default)s); both are "
+        "bit-identical, and an unsupported scenario under 'vector' "
+        "fails with exit code 2 instead of falling back",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -602,6 +671,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry", action="store_true",
         help="print a sweep-telemetry metrics table after the results",
     )
+    _add_kernel_flag(optimize)
     optimize.set_defaults(func=cmd_optimize)
 
     throughput = sub.add_parser("throughput", help="standalone scrub throughput")
@@ -621,6 +691,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", metavar="FILE", default=None,
         help="write a Chrome trace-event JSON of the run",
     )
+    _add_kernel_flag(throughput)
     throughput.set_defaults(func=cmd_throughput)
 
     detect = sub.add_parser(
@@ -705,6 +776,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", metavar="FILE", default=None,
         help="write one Chrome trace JSON with a process row per run",
     )
+    _add_kernel_flag(detect)
     detect.set_defaults(func=cmd_detect)
 
     trace = sub.add_parser(
@@ -776,6 +848,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write PREFIX.requests.jsonl (and PREFIX.errors.jsonl "
         "with --inject) for offline analysis",
     )
+    _add_kernel_flag(trace)
     trace.set_defaults(func=cmd_trace)
 
     verify = sub.add_parser(
@@ -785,8 +858,9 @@ def build_parser() -> argparse.ArgumentParser:
         epilog=(
             "Each fuzzed configuration runs under the runtime invariant\n"
             "checker and through the differential oracle's axes (fast\n"
-            "kernel vs instrumented twin, array vs record replay feed,\n"
-            "telemetry on vs off, serial vs shm-parallel sweep).  Any\n"
+            "kernel vs instrumented twin, reference vs vector engine\n"
+            "backend, array vs record replay feed, telemetry on vs off,\n"
+            "serial vs shm-parallel sweep).  Any\n"
             "failing configuration is minimised and reprinted as a\n"
             "copy-pasteable repro snippet.  The same --seed always draws\n"
             "the same configurations."
@@ -799,7 +873,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument(
         "--axes", nargs="+", default=None,
-        choices=("kernel-twin", "feed", "telemetry", "parallel"),
+        choices=(
+            "kernel-twin", "kernel-backend", "feed", "telemetry", "parallel"
+        ),
         help="restrict the differential oracle to these axes",
     )
     verify.add_argument(
@@ -811,6 +887,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="first plant each known seeded bug and assert it is caught "
         "(pass --configs 0 to run the self-test alone)",
     )
+    from repro.sim import KERNELS
+
+    verify.add_argument(
+        "--kernel", choices=KERNELS, default=None,
+        help="force every fuzzed config onto one engine backend "
+        "(default: drawn per config; the kernel-backend axis still "
+        "compares both regardless)",
+    )
     verify.set_defaults(func=cmd_verify)
 
     mlet = sub.add_parser("mlet", help="MLET by scrub order under bursty LSEs")
@@ -821,12 +905,31 @@ def build_parser() -> argparse.ArgumentParser:
     mlet.add_argument("--seed", type=int, default=0)
     mlet.set_defaults(func=cmd_mlet)
 
+    bench = sub.add_parser(
+        "bench", help="run the performance regression suite (BENCH JSON)"
+    )
+    bench.add_argument(
+        "--output", "-o", default=None,
+        help="benchmark JSON output path (default benchmarks/../BENCH_PR6.json)",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="scaled-down event counts for a smoke run (no speedup gate)",
+    )
+    bench.set_defaults(func=cmd_bench)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    from repro.sim.vector import UnsupportedKernelFeature
+
+    try:
+        return args.func(args)
+    except UnsupportedKernelFeature as exc:
+        print(f"repro {args.command}: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -36,7 +36,7 @@ from repro.faults.remediation import (
 )
 from repro.sched.device import BlockDevice
 from repro.sched.request import IORequest, PriorityClass
-from repro.sim import Interrupt, Process, Simulation
+from repro.sim import Interrupt, Process, ReusableTimeout, Simulation
 
 #: One scrub extent: starting LBN and sector count.
 Extent = Tuple[int, int]
@@ -131,6 +131,12 @@ class Scrubber:
         self.remediation_stats = RemediationStats()
         self._process: Optional[Process] = None
         self._draining = False
+        #: Pooled rate-limit sleep timer: one event recycled across the
+        #: pass loop instead of one Timeout allocation per request.  A
+        #: timer abandoned mid-sleep (the scrubber was interrupted) is
+        #: not yet processed, so the ``.processed`` guard falls back to
+        #: a fresh allocation for that sleep.
+        self._sleep = ReusableTimeout(sim)
         sink = sim.telemetry
         self._telemetry = sink if sink is not None and sink.enabled else None
 
@@ -215,11 +221,17 @@ class Scrubber:
                             )
                     if self.delay > 0:
                         if self.delay_mode == "gap":
-                            yield self.sim.timeout(self.delay)
+                            wait = self.delay
                         else:
                             due = issue_time + self.delay
-                            if due > self.sim.now:
-                                yield self.sim.timeout(due - self.sim.now)
+                            wait = due - self.sim.now if due > self.sim.now else None
+                        if wait is not None:
+                            sleep = self._sleep
+                            yield (
+                                sleep.arm(wait)
+                                if sleep.processed
+                                else self.sim.timeout(wait)
+                            )
                 self.passes_completed += 1
                 if sink is not None:
                     sink.scrub_pass_completed(

@@ -24,7 +24,7 @@ import numpy as np
 from repro.disk.drive import Drive
 from repro.sched.base import IOSchedulerBase
 from repro.sched.request import IORequest
-from repro.sim import AnyOf, Event, Simulation
+from repro.sim import AnyOf, Event, ReusableTimeout, Simulation
 
 
 class RequestLog:
@@ -126,6 +126,11 @@ class BlockDevice:
         self.busy_since: Optional[float] = None
         self.total_busy_time = 0.0
         self._wakeup: Event = sim.event()
+        #: Pooled idle-recheck timer for the dispatcher's AnyOf wait.  A
+        #: timer that lost the race to ``_wakeup`` is still in the heap
+        #: (not processed) and must not be re-armed; the ``.processed``
+        #: guard falls back to a fresh Timeout for that wait.
+        self._recheck = ReusableTimeout(sim)
         self._dispatcher_proc = sim.process(self._dispatcher())
 
     # -- public API ------------------------------------------------------------
@@ -175,7 +180,17 @@ class BlockDevice:
                 if recheck is None:
                     yield self._wakeup
                 else:
-                    yield AnyOf(sim, [sim.timeout(recheck - sim.now), self._wakeup])
+                    timer = self._recheck
+                    wait = recheck - sim.now
+                    yield AnyOf(
+                        sim,
+                        [
+                            timer.arm(wait)
+                            if timer.processed
+                            else sim.timeout(wait),
+                            self._wakeup,
+                        ],
+                    )
                 if self._wakeup.triggered:
                     self._wakeup = sim.event()
                 continue

@@ -28,21 +28,32 @@ Example
 """
 
 from repro.sim.engine import Simulation, StopSimulation
-from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.events import AllOf, AnyOf, Event, ReusableTimeout, Timeout
 from repro.sim.process import Interrupt, Process
 from repro.sim.resources import Resource, Store
 from repro.sim.rng import RandomStreams
+from repro.sim.vector import (
+    KERNELS,
+    UnsupportedKernelFeature,
+    VectorSimulation,
+    make_simulation,
+)
 
 __all__ = [
     "AllOf",
     "AnyOf",
     "Event",
     "Interrupt",
+    "KERNELS",
     "Process",
     "RandomStreams",
     "Resource",
+    "ReusableTimeout",
     "Simulation",
     "Store",
     "StopSimulation",
     "Timeout",
+    "UnsupportedKernelFeature",
+    "VectorSimulation",
+    "make_simulation",
 ]

@@ -68,13 +68,24 @@ class Simulation:
     3.0
     """
 
-    __slots__ = ("_now", "_queue", "_seq", "_active_process", "timeout", "telemetry")
+    #: Kernel backend identifier; :class:`~repro.sim.vector.VectorSimulation`
+    #: overrides this with ``"vector"``.  Components that need a
+    #: kernel-specific fast path (e.g. the replay cursor) branch on it.
+    kernel = "reference"
+
+    __slots__ = (
+        "_now", "_queue", "_seq", "_active_process", "_marker",
+        "timeout", "telemetry",
+    )
 
     def __init__(self, start: float = 0.0, telemetry=None) -> None:
         self._now = float(start)
         self._queue: list = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        #: Pooled ``run(until=<number>)`` deadline marker, recycled
+        #: across runs once processed (see :meth:`_until_marker`).
+        self._marker: Optional[Event] = None
         #: Create an event firing ``delay`` time units from now:
         #: ``sim.timeout(delay, value=None)``.  Bound as a C-level
         #: ``partial`` so the hottest event factory skips one Python
@@ -109,14 +120,36 @@ class Simulation:
     # -- scheduling ----------------------------------------------------------
     def _enqueue(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
         """Insert a triggered event into the queue (engine-internal)."""
-        self._seq += 1
-        key = self._seq if priority else self._seq - URGENT_BIAS
+        self._seq = seq = self._seq + 1
+        key = seq if priority else seq - URGENT_BIAS
         heapq.heappush(self._queue, (self._now + delay, key, event))
 
     def schedule_interrupt(self, event: Event) -> None:
         """Queue ``event`` ahead of same-time normal events."""
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now, self._seq - URGENT_BIAS, event))
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._queue, (self._now, seq - URGENT_BIAS, event))
+
+    def _until_marker(self, deadline: float) -> Event:
+        """Push the ``run(until=<number>)`` stop marker at ``deadline``.
+
+        The marker event is pooled: one is allocated on first use and
+        recycled on every later numeric-``until`` run whose previous
+        marker was actually processed.  A marker that never fired (the
+        run ended early through an exception) is still sitting in the
+        heap, so it must not be re-armed — that run allocates afresh.
+        Sequence-number consumption is identical either way.
+        """
+        marker = self._marker
+        if marker is None or marker._callbacks is not _PROCESSED:
+            marker = self._marker = Event(self)
+            marker._ok = True
+            marker._value = None
+        else:
+            marker._defused = False
+        marker._callbacks = StopSimulation.callback
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._queue, (deadline, seq - URGENT_BIAS, marker))
+        return marker
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -170,14 +203,7 @@ class Simulation:
                     raise ValueError(
                         f"until={deadline} lies in the past (now={self._now})"
                     )
-                marker = Event(self)
-                marker._ok = True
-                marker._value = None
-                marker._callbacks = StopSimulation.callback
-                self._seq += 1
-                heapq.heappush(
-                    self._queue, (deadline, self._seq - URGENT_BIAS, marker)
-                )
+                self._until_marker(deadline)
         # Hot loop: step() inlined with everything bound to locals.  A
         # telemetry sink selects the instrumented twin of the loop once
         # per run() call — the disabled path is byte-for-byte the PR 1

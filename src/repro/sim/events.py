@@ -195,6 +195,49 @@ class Timeout(Event):
         heappush(sim._queue, (sim._now + delay, seq, self))
 
 
+class ReusableTimeout(Event):
+    """A pooled timeout event that can be re-armed after processing.
+
+    Long-lived processes that sleep in a loop (the scrubber's
+    inter-request delay, the block device's idle recheck) burn one
+    :class:`Timeout` allocation per sleep.  A ``ReusableTimeout`` is
+    armed like a fresh ``sim.timeout(delay)`` — identical sequence
+    number consumption and heap tuple, so pooling is invisible to the
+    differential oracle — but recycles the event object.
+
+    Only re-arm an instance whose previous firing was *processed*
+    (check :attr:`Event.processed`): a timer that lost an ``AnyOf``
+    race still sits in the heap, and re-arming it would fire the new
+    incarnation's callbacks at the stale due time.  Instances are born
+    processed so the guard admits first use.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulation") -> None:  # noqa: F821
+        self.sim = sim
+        self._callbacks = _PROCESSED
+        self._value = None
+        self._ok = True
+        self._defused = False
+        self.delay = 0.0
+
+    def arm(self, delay: float, value: Any = None) -> "ReusableTimeout":
+        """Re-schedule this event ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        delay = float(delay)
+        sim = self.sim
+        self._callbacks = None
+        self._value = value
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._queue, (sim._now + delay, seq, self))
+        return self
+
+
 class _Condition(Event):
     """Base for :class:`AnyOf` / :class:`AllOf`."""
 

@@ -4,20 +4,26 @@ Four PRs of optimisation left the stack with pairs of code paths that
 promise identical observable behaviour.  Each promise is an *axis* the
 oracle can flip while holding the seeded scenario fixed:
 
-==============  ========================================================
-axis            paths compared
-==============  ========================================================
-``kernel-twin`` engine fast loop vs the instrumented twin loop (the
-                twin is selected whenever an enabled sink is attached)
-``feed``        legacy record-generator replay vs the PR 4 batched
-                ``_ReplayCursor`` array feed — compared *with* a
-                recorder attached, so the full event stream and metric
-                snapshot participate in the signature
-``telemetry``   telemetry off vs a recording :class:`Recorder` — the
-                sink-passivity contract (observation never perturbs)
-``parallel``    serial execution vs the shm-parallel
-                :class:`~repro.parallel.runner.SweepRunner` pool
-==============  ========================================================
+==================  ====================================================
+axis                paths compared
+==================  ====================================================
+``kernel-twin``     engine fast loop vs the instrumented twin loop (the
+                    twin is selected whenever an enabled sink is
+                    attached)
+``kernel-backend``  the reference heap kernel vs the PR 6 numpy
+                    batch-advance kernel (:mod:`repro.sim.vector`) —
+                    the scenario's own ``kernel`` parameter is
+                    overridden on both sides
+``feed``            legacy record-generator replay vs the PR 4 batched
+                    ``_ReplayCursor`` array feed — compared *with* a
+                    recorder attached, so the full event stream and
+                    metric snapshot participate in the signature
+``telemetry``       telemetry off vs a recording :class:`Recorder` —
+                    the sink-passivity contract (observation never
+                    perturbs)
+``parallel``        serial execution vs the shm-parallel
+                    :class:`~repro.parallel.runner.SweepRunner` pool
+==================  ====================================================
 
 Outcomes are reduced to a SHA-256 *signature* through
 :func:`repro.parallel.cache.canonicalize` (floats hex-formatted,
@@ -46,7 +52,7 @@ __all__ = [
 #: All axes, in the order ``run_axes`` exercises them.  ``parallel``
 #: is batch-level (one pool spawn amortised over many configs) and
 #: lives in :func:`check_parallel`.
-AXES = ("kernel-twin", "feed", "telemetry", "parallel")
+AXES = ("kernel-twin", "kernel-backend", "feed", "telemetry", "parallel")
 
 
 class DifferentialMismatch(AssertionError):
@@ -132,6 +138,13 @@ def run_axes(
         twin = run_scenario(**base, telemetry="invariants")
         signatures["kernel-twin"] = _compare(
             "kernel-twin", base, fast, twin, include_telemetry=False
+        )
+    if "kernel-backend" in selected:
+        kb = {k: v for k, v in base.items() if k != "kernel"}
+        reference = run_scenario(**kb, kernel="reference", telemetry="none")
+        vector = run_scenario(**kb, kernel="vector", telemetry="none")
+        signatures["kernel-backend"] = _compare(
+            "kernel-backend", kb, reference, vector, include_telemetry=False
         )
     if "feed" in selected:
         arrays = run_scenario(**base, feed="arrays", telemetry="recorder")

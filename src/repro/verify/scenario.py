@@ -29,6 +29,10 @@ the legacy record-generator replayer path) and
 into *core* keys — which must be bit-identical across every axis the
 oracle flips — and the ``"telemetry"`` key, which only exists when a
 recorder was attached.
+
+``kernel="reference" | "vector"`` selects the engine backend (the PR 6
+differential axis); outcomes must be bit-identical across kernels and
+carry no kernel marker of their own.
 """
 
 from __future__ import annotations
@@ -49,7 +53,7 @@ from repro.sched.cfq import CFQScheduler
 from repro.sched.device import BlockDevice
 from repro.sched.noop import NoopScheduler
 from repro.sched.request import PriorityClass
-from repro.sim import Simulation
+from repro.sim import KERNELS, make_simulation
 from repro.traces.catalog import generate_trace
 from repro.traces.record import Trace
 from repro.workloads.replay import TraceReplayer
@@ -136,6 +140,7 @@ def run_scenario(
     idle_gate: float = 0.002,
     scrub_delay: float = 0.0,
     telemetry: str = "none",
+    kernel: str = "reference",
 ) -> dict:
     """Run one seeded scenario end to end; return its outcome dict.
 
@@ -157,6 +162,8 @@ def run_scenario(
         raise ValueError(f"family must be one of {FAMILIES}: {family!r}")
     if feed not in FEEDS:
         raise ValueError(f"feed must be one of {FEEDS}: {feed!r}")
+    if kernel not in KERNELS:
+        raise ValueError(f"kernel must be one of {KERNELS}: {kernel!r}")
     if horizon <= 0:
         raise ValueError(f"horizon must be positive: {horizon}")
     if drive not in PRESETS:
@@ -168,7 +175,7 @@ def run_scenario(
     total_sectors = Drive(spec, cache_enabled=False).total_sectors
 
     sink = _build_sink(telemetry, total_sectors)
-    sim = Simulation(telemetry=sink)
+    sim = make_simulation(kernel, telemetry=sink)
     drive_model = Drive(spec, cache_enabled=cache_enabled)
 
     faults = None

@@ -123,3 +123,50 @@ class TestVerify:
     def test_bad_axis_rejected(self):
         with pytest.raises(SystemExit):
             main(["verify", "--axes", "chaos"])
+
+
+class TestKernelFlag:
+    def test_throughput_identical_under_both_kernels(self, capsys):
+        assert main(["throughput", "--horizon", "1", "--kernel", "reference"]) == 0
+        reference = capsys.readouterr().out
+        assert main(["throughput", "--horizon", "1", "--kernel", "vector"]) == 0
+        assert capsys.readouterr().out == reference
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["throughput", "--kernel", "turbo"])
+
+    def test_trace_vector_fails_fast_with_exit_2(self, tmp_path, capsys):
+        code = main([
+            "trace", "--kernel", "vector", "--horizon", "0.1",
+            "--out", str(tmp_path / "t.json"),
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "vector" in err
+        assert "--kernel reference" in err
+        assert not (tmp_path / "t.json").exists()  # no silent fallback
+
+    def test_verify_kernel_backend_axis(self, capsys):
+        code = main([
+            "verify", "--seed", "7", "--configs", "2",
+            "--axes", "kernel-backend",
+        ])
+        assert code == 0
+        assert "2/2 configs passed" in capsys.readouterr().out
+
+    def test_verify_forced_kernel(self, capsys):
+        code = main([
+            "verify", "--seed", "7", "--configs", "2",
+            "--axes", "kernel-twin", "--kernel", "vector",
+        ])
+        assert code == 0
+        assert "2/2 configs passed" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_bench_finds_run_perf_from_repo(self, monkeypatch, tmp_path):
+        # Point the walk-up at an empty directory: no benchmarks/ tree.
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(SystemExit, match="could not find"):
+            main(["bench"])

@@ -1,0 +1,154 @@
+"""Property-based tests: vectorised disk mechanics vs the scalar path.
+
+The vector kernel's service-time computation
+(:meth:`SeekModel.times`, :meth:`RotationModel.angles_at` /
+``latencies_to`` / ``transfer_times``, :meth:`DiskGeometry.locate_batch`
+/ ``angles_of_batch``) must equal the scalar reference methods
+**element-wise and bit-for-bit** across random geometries, request
+sizes and zone layouts — the differential oracle's kernel-backend axis
+depends on it.
+
+Runs under hypothesis when available (the container bakes it in); when
+it is not, each property falls back to a seeded-random sweep over the
+same input space, so the suite loses example diversity but never
+coverage.
+"""
+
+import functools
+
+import numpy as np
+
+from repro.disk.geometry import DiskGeometry, Zone
+from repro.disk.mechanics import RotationModel, SeekModel
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - the container ships hypothesis
+    HAVE_HYPOTHESIS = False
+
+_FALLBACK_EXAMPLES = 60
+
+
+def _build(heads, zone_params, track_skew, rpm, seek_fracs):
+    """Geometry + mechanics from drawn primitives.
+
+    ``seek_fracs`` are two fractions in (0, 1] that place track-to-track
+    and average seek below the full stroke, keeping ``from_specs``'s
+    ``0 < t2t <= avg <= full`` ordering valid by construction.
+    """
+    geometry = DiskGeometry(
+        heads, [Zone(c, spt) for c, spt in zone_params], track_skew
+    )
+    full = 0.015
+    f1, f2 = sorted(seek_fracs)
+    # cylinders >= 4 keeps the three fit points distinct (at 3 the
+    # 1-cylinder and one-third-stroke points coincide: singular fit).
+    seek = SeekModel.from_specs(
+        max(1e-4, f1 * full), max(2e-4, f2 * full), full,
+        max(4, geometry.cylinders),
+    )
+    return geometry, seek, RotationModel(rpm)
+
+
+def _drawn_case(rng):
+    heads = int(rng.integers(1, 9))
+    zones = [
+        (int(rng.integers(1, 40)), int(rng.integers(8, 600)))
+        for _ in range(int(rng.integers(1, 7)))
+    ]
+    track_skew = round(float(rng.uniform(0.0, 0.999)), 6)
+    rpm = float(rng.choice([3600.0, 5400.0, 7200.0, 10000.0, 15000.0]))
+    seek_fracs = (float(rng.uniform(0.005, 1.0)), float(rng.uniform(0.005, 1.0)))
+    return heads, zones, track_skew, rpm, seek_fracs
+
+
+def geometry_property(test):
+    """Drive ``test(heads=..., zones=..., ...)`` with hypothesis or seeded
+    random draws over the same space."""
+    if HAVE_HYPOTHESIS:
+        zone_strategy = st.lists(
+            st.tuples(st.integers(1, 40), st.integers(8, 600)),
+            min_size=1,
+            max_size=6,
+        )
+        return settings(max_examples=80, deadline=None)(
+            given(
+                heads=st.integers(1, 8),
+                zones=zone_strategy,
+                track_skew=st.floats(0.0, 0.999, allow_nan=False),
+                rpm=st.sampled_from([3600.0, 5400.0, 7200.0, 10000.0, 15000.0]),
+                seek_fracs=st.tuples(
+                    st.floats(0.005, 1.0, allow_nan=False),
+                    st.floats(0.005, 1.0, allow_nan=False),
+                ),
+            )(test)
+        )
+
+    @functools.wraps(test)
+    def fallback():
+        rng = np.random.default_rng(20120625)  # DSN 2012
+        for _ in range(_FALLBACK_EXAMPLES):
+            heads, zones, track_skew, rpm, seek_fracs = _drawn_case(rng)
+            test(
+                heads=heads, zones=zones, track_skew=track_skew, rpm=rpm,
+                seek_fracs=seek_fracs,
+            )
+
+    return fallback
+
+
+@geometry_property
+def test_locate_batch_matches_scalar(heads, zones, track_skew, rpm, seek_fracs):
+    geometry, _, _ = _build(heads, zones, track_skew, rpm, seek_fracs)
+    rng = np.random.default_rng(7)
+    lbns = rng.integers(0, geometry.total_sectors, size=64)
+    cyl, head, sector, spt, track = geometry.locate_batch(lbns)
+    for i, lbn in enumerate(lbns):
+        loc = geometry.locate(int(lbn))
+        assert (cyl[i], head[i], sector[i]) == (
+            loc.cylinder, loc.head, loc.sector
+        )
+        assert spt[i] == geometry.zones[geometry.zone_of_lbn(int(lbn))].sectors_per_track
+        angle = geometry.angles_of_batch(
+            sector[i : i + 1], spt[i : i + 1], track[i : i + 1]
+        )[0]
+        assert angle == geometry.angle_of(loc)
+
+
+@geometry_property
+def test_seek_times_match_scalar(heads, zones, track_skew, rpm, seek_fracs):
+    _, seek, _ = _build(heads, zones, track_skew, rpm, seek_fracs)
+    distances = np.arange(0, seek.cylinders, max(1, seek.cylinders // 50))
+    batch = seek.times(distances)
+    assert batch.dtype == np.float64
+    for i, d in enumerate(distances):
+        assert batch[i] == seek.time(int(d)), f"d={d}"
+
+
+@geometry_property
+def test_rotation_batch_matches_scalar(heads, zones, track_skew, rpm, seek_fracs):
+    geometry, _, rotation = _build(heads, zones, track_skew, rpm, seek_fracs)
+    rng = np.random.default_rng(11)
+    times = rng.uniform(0.0, 50.0, size=48)
+    targets = rng.uniform(0.0, 1.0, size=48)
+    spt = np.array(
+        [z.sectors_per_track for z in geometry.zones], dtype=np.int64
+    )
+    sectors = (rng.integers(0, 10_000, size=len(spt)) % (spt + 1)).astype(
+        np.int64
+    )
+    angles = rotation.angles_at(times)
+    latencies = rotation.latencies_to(targets, times)
+    transfers = rotation.transfer_times(sectors, spt)
+    for i in range(len(times)):
+        assert angles[i] == rotation.angle_at(float(times[i]))
+        assert latencies[i] == rotation.latency_to(
+            float(targets[i]), float(times[i])
+        )
+    for j in range(len(spt)):
+        assert transfers[j] == rotation.transfer_time(
+            int(sectors[j]), int(spt[j])
+        )

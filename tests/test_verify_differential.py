@@ -69,11 +69,15 @@ class TestRunAxes:
     @pytest.mark.parametrize("family", sorted(SCENARIOS))
     def test_all_axes_agree(self, family):
         signatures = run_axes(SCENARIOS[family])
-        assert set(signatures) == {"kernel-twin", "feed", "telemetry"}
+        assert set(signatures) == {
+            "kernel-twin", "kernel-backend", "feed", "telemetry"
+        }
         assert all(len(s) == 64 for s in signatures.values())
-        # kernel-twin and telemetry both compare core-only outcomes of
-        # the same scenario, so their agreed signatures coincide.
+        # kernel-twin, kernel-backend and telemetry all compare
+        # core-only outcomes of the same scenario, so their agreed
+        # signatures coincide.
         assert signatures["kernel-twin"] == signatures["telemetry"]
+        assert signatures["kernel-twin"] == signatures["kernel-backend"]
 
     def test_axis_subset(self):
         signatures = run_axes(SCENARIOS["synthetic"], axes=("kernel-twin",))
@@ -114,5 +118,7 @@ class TestParallelAxis:
         assert check_parallel([]) == []
 
 
-def test_axes_constant_covers_all_four():
-    assert AXES == ("kernel-twin", "feed", "telemetry", "parallel")
+def test_axes_constant_covers_all_five():
+    assert AXES == (
+        "kernel-twin", "kernel-backend", "feed", "telemetry", "parallel"
+    )
