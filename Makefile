@@ -4,7 +4,7 @@
 PYTHON ?= python
 TIMEOUT ?= 120
 
-.PHONY: tier1 smoke bench bench-telemetry bench-replay bench-verify bench-kernel verify-fuzz check
+.PHONY: tier1 smoke bench bench-telemetry bench-replay bench-verify bench-kernel bench-fleet verify-fuzz fleet-smoke check
 
 # The ROADMAP tier-1 verify, with a per-test wall-clock limit so a
 # wedged test fails fast instead of hanging CI (tools/pytest_timeout_lite).
@@ -65,6 +65,17 @@ bench-kernel:
 # locally with the printed snippet alone.
 verify-fuzz:
 	PYTHONPATH=src $(PYTHON) -m repro verify --self-test --seed 0 --configs 200
+
+# Fleet-campaign fault-tolerance smoke: baseline + journal audit,
+# SIGKILL the driver mid-campaign and resume bit-identically, SIGKILL
+# a shard worker (retried, identical), and wedge a worker (deadline,
+# graceful degradation with explicit completeness).  Deterministic.
+fleet-smoke:
+	PYTHONPATH=src $(PYTHON) tools/fleet_smoke.py
+
+# Fleet-campaign throughput + resume overhead (writes BENCH_PR7.json).
+bench-fleet:
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_fleet.py
 
 # Full experiment benchmarks (slow; regenerates the paper's figures).
 bench:

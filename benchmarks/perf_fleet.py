@@ -1,0 +1,139 @@
+"""Fleet-campaign benchmark: drive-years/sec, resume and journal cost.
+
+Writes ``BENCH_PR7.json`` next to the repo root.  Three rows:
+
+* ``fleet_throughput`` — simulated drive-years per wall-clock second
+  for a serial in-process campaign (the per-shard kernel's raw speed);
+* ``fleet_resume`` — a fresh journalled run vs a full resume of the
+  same campaign: the resume recomputes no shard (every one is a
+  checkpoint hit; what remains is the merge + closed-form calibration)
+  and must produce bit-identical metrics;
+* ``fleet_journal_overhead`` — the same campaign with and without a
+  journal: checkpointing must cost only a modest fraction of the run.
+
+No hard gate fails this script except the bit-identity check — timing
+rows are informational, following the BENCH_PR*.json convention.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.fleet import (  # noqa: E402
+    CampaignRunner,
+    CampaignSpec,
+    DriveClass,
+    FleetSpec,
+    ScrubPolicySpec,
+)
+
+
+def make_spec(groups: int) -> CampaignSpec:
+    return CampaignSpec(
+        fleet=FleetSpec(
+            groups=groups,
+            disks_per_group=8,
+            mttr_hours=24.0,
+            spare_delay_hours=4.0,
+            classes=(
+                DriveClass(mttf_hours=1.0e5, lse_burst_rate_per_hour=1e-4),
+            ),
+        ),
+        policies=(
+            ScrubPolicySpec(name="weekly", latent_window_hours=84.0),
+            ScrubPolicySpec(
+                name="staggered", algorithm="staggered",
+                latent_window_hours=62.0,
+            ),
+        ),
+        mission_years=10.0,
+        seed=0,
+        shards=16,
+    )
+
+
+def _run(spec, journal_dir=None):
+    start = time.perf_counter()
+    result = CampaignRunner(spec, journal_dir=journal_dir).run()
+    return result, time.perf_counter() - start
+
+
+def main() -> int:
+    groups = 4000
+    spec = make_spec(groups)
+    rows = {}
+
+    result, elapsed = _run(spec)
+    drive_years = sum(p.drive_years for p in result.policies)
+    rows["fleet_throughput"] = {
+        "workload": (
+            f"{groups} raid5 groups x 8 drives x 2 policies, "
+            f"{spec.mission_years:g}y mission, serial"
+        ),
+        "drives": spec.fleet.drives,
+        "simulated_drive_years": round(drive_years, 1),
+        "wall_s": round(elapsed, 4),
+        "drive_years_per_s": round(drive_years / elapsed, 1),
+    }
+    print(
+        f"fleet_throughput: {drive_years:,.0f} drive-years in {elapsed:.2f}s "
+        f"({drive_years / elapsed:,.0f} dy/s)"
+    )
+
+    identical = True
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = os.path.join(tmp, "journal")
+        fresh, fresh_s = _run(spec, journal_dir=journal)
+        resumed, resume_s = _run(spec, journal_dir=journal)
+        identical = fresh.metrics_dict() == resumed.metrics_dict()
+        rows["fleet_resume"] = {
+            "workload": "same campaign, journalled: fresh run vs full resume",
+            "fresh_s": round(fresh_s, 4),
+            "resume_s": round(resume_s, 4),
+            "speedup": round(fresh_s / resume_s, 2),
+            "shards_resumed": resumed.shards_resumed,
+            "bit_identical": identical,
+        }
+        print(
+            f"fleet_resume: fresh {fresh_s:.2f}s, resume {resume_s:.3f}s "
+            f"({fresh_s / resume_s:.0f}x, {resumed.shards_resumed} shards "
+            f"from checkpoints, identical={identical})"
+        )
+
+        rows["fleet_journal_overhead"] = {
+            "workload": "journalled fresh run vs unjournalled run",
+            "bare_s": round(elapsed, 4),
+            "journalled_s": round(fresh_s, 4),
+            "overhead_fraction": round(fresh_s / elapsed - 1.0, 4),
+        }
+        print(
+            f"fleet_journal_overhead: bare {elapsed:.2f}s vs journalled "
+            f"{fresh_s:.2f}s ({(fresh_s / elapsed - 1.0) * 100:+.1f}%)"
+        )
+
+    payload = {
+        "python": platform.python_version(),
+        "rows": rows,
+    }
+    out = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_PR7.json",
+    )
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print(f"wrote {out}")
+    if not identical:
+        print("FAIL: resumed campaign diverged from the fresh run")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight commands cover the library's main workflows:
+Ten commands cover the library's main workflows:
 
 * ``generate``  — write a synthetic catalog trace to CSV;
 * ``analyze``   — Section V-A statistics for a trace (idle stats,
@@ -18,7 +18,11 @@ Eight commands cover the library's main workflows:
   through the runtime invariant checker and the differential oracle
   (``--self-test`` plants known bugs and asserts they are caught);
 * ``bench``     — run the performance regression suite
-  (``benchmarks/run_perf.py``) and write its machine-stable JSON.
+  (``benchmarks/run_perf.py``) and write its machine-stable JSON;
+* ``fleet``     — fleet-scale reliability campaign: MTTDL and
+  P(data loss) per scrub policy over tens of thousands of drives,
+  with durable per-shard checkpoints (``--journal``), bit-identical
+  resume (``--resume``), and fault-tolerant supervised workers.
 
 ``throughput``, ``detect`` and ``optimize`` also take ``--telemetry``
 (print a metrics summary table) and, where a simulation runs
@@ -608,6 +612,187 @@ def cmd_bench(args) -> int:
     return run_perf.main(argv)
 
 
+def _parse_policy(text: str, index: int):
+    """``alg[:regions][@period_hours]`` -> ScrubPolicySpec.
+
+    Examples: ``sequential``, ``staggered:64``, ``sequential@336``,
+    ``staggered:128@168``.  The policy name encodes the parameters so
+    repeated flags stay distinguishable in the output table.
+    """
+    from repro.fleet import ScrubPolicySpec
+
+    spec_text = text.strip()
+    period_hours = 168.0
+    if "@" in spec_text:
+        spec_text, _, period_text = spec_text.partition("@")
+        try:
+            period_hours = float(period_text)
+        except ValueError:
+            raise SystemExit(f"--policy {text!r}: bad period {period_text!r}")
+    regions = 128
+    if ":" in spec_text:
+        spec_text, _, regions_text = spec_text.partition(":")
+        try:
+            regions = int(regions_text)
+        except ValueError:
+            raise SystemExit(f"--policy {text!r}: bad regions {regions_text!r}")
+    algorithm = spec_text or "sequential"
+    if algorithm not in ("sequential", "staggered"):
+        raise SystemExit(
+            f"--policy {text!r}: algorithm must be sequential|staggered"
+        )
+    if algorithm == "staggered":
+        name = f"staggered{regions}-{period_hours:g}h"
+    else:
+        name = f"sequential-{period_hours:g}h"
+    try:
+        return ScrubPolicySpec(
+            name=name, algorithm=algorithm, regions=regions,
+            period_hours=period_hours,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"--policy {text!r}: {exc}")
+
+
+def cmd_fleet(args) -> int:
+    import json
+    import os
+
+    from repro.fleet import (
+        CampaignRunner,
+        CampaignSpec,
+        DriveClass,
+        FleetSpec,
+        campaign_digest,
+    )
+    from repro.parallel.supervise import RetryPolicy
+    from repro.verify import InvariantViolation
+
+    if args.resume and not args.journal:
+        raise SystemExit("fleet: --resume needs --journal DIR to resume from")
+    if args.resume and not os.path.isfile(
+        os.path.join(args.journal, "manifest.json")
+    ):
+        raise SystemExit(
+            f"fleet: --resume but {args.journal} has no manifest.json "
+            "(nothing to resume; drop --resume to start fresh)"
+        )
+
+    policy_texts = args.policy or ["sequential@168", "staggered:128@168"]
+    policies = tuple(
+        _parse_policy(text, index) for index, text in enumerate(policy_texts)
+    )
+    names = [policy.name for policy in policies]
+    if len(set(names)) != len(names):
+        raise SystemExit(f"fleet: duplicate policies after parsing: {names}")
+    try:
+        fleet = FleetSpec(
+            groups=args.groups,
+            disks_per_group=args.disks,
+            raid_level=args.raid,
+            mttr_hours=args.mttr_hours,
+            spare_delay_hours=args.spare_delay_hours,
+            classes=(
+                DriveClass(
+                    preset=args.drive,
+                    mttf_hours=args.mttf_hours,
+                    lse_burst_rate_per_hour=args.lse_rate,
+                ),
+            ),
+        )
+        spec = CampaignSpec(
+            fleet=fleet,
+            policies=policies,
+            mission_years=args.mission_years,
+            seed=args.seed,
+            shards=args.shards,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"fleet: {exc}")
+
+    recorder = None
+    if args.telemetry:
+        from repro.telemetry import Recorder
+
+        recorder = Recorder(wall_time=False)
+    retry = RetryPolicy(max_attempts=args.max_attempts, seed=args.seed)
+    runner = CampaignRunner(
+        spec,
+        journal_dir=args.journal,
+        workers=args.workers,
+        task_timeout=args.task_timeout,
+        retry=retry,
+        telemetry=recorder,
+    )
+    print(
+        f"campaign {campaign_digest(spec)[:12]}: "
+        f"{fleet.groups:,} x {args.raid} groups "
+        f"({fleet.drives:,} drives), {len(policies)} policies, "
+        f"{args.mission_years:g}y mission, {spec.shards} shards"
+        + (f", journal {args.journal}" if args.journal else "")
+    )
+    try:
+        result = runner.run()
+    except InvariantViolation as exc:
+        print(f"fleet: invariant violation: {exc}", file=sys.stderr)
+        return 1
+
+    if result.shards_resumed:
+        print(
+            f"resumed {result.shards_resumed}/{result.shards_total} shards "
+            f"from journal checkpoints"
+        )
+    print(
+        f"{'policy':<22}{'window':>8}{'losses':>8}{'MTTDL':>10}"
+        f"{'95% CI':>20}{'P(loss)':>9}{'closed-form':>13}"
+    )
+    for p in result.policies:
+        ci_low = p.mttdl_ci_hours[0] / 8760.0
+        ci_high = p.mttdl_ci_hours[1] / 8760.0
+        ci = (
+            f"[{ci_low:6.1f}, {ci_high:6.1f}]y"
+            if np.isfinite(ci_high)
+            else f"[{ci_low:6.1f},    inf]y"
+        )
+        mttdl = (
+            f"{p.mttdl_years:8.1f}y" if np.isfinite(p.mttdl_years) else "     inf"
+        )
+        cf = p.closed_form_mttdl_hours / 8760.0
+        cf_txt = f"{cf:10.1f}y" if np.isfinite(cf) else "       inf"
+        print(
+            f"{p.name:<22}{p.latent_window_hours:>7.1f}h{p.losses:>8}"
+            f"{mttdl:>10}{ci:>20}{p.p_loss_mission:>9.4f}{cf_txt:>13}"
+        )
+    print(
+        f"completeness {result.completeness:.3f} "
+        f"({result.shards_completed}/{result.shards_total} shards"
+        + (f", {result.shards_failed} failed: {result.failed_shards}"
+           if result.shards_failed else "")
+        + ")"
+    )
+    if result.supervision:
+        s = result.supervision
+        print(
+            f"supervision: {s['attempts']} attempts, {s['retries']} retries, "
+            f"{s['timeouts']} timeouts, {s['worker_deaths']} worker deaths, "
+            f"{s['speculated']} speculative re-dispatches"
+        )
+    if args.json:
+        payload = result.metrics_dict()
+        payload["campaign_digest"] = campaign_digest(spec)
+        payload["shards_resumed"] = result.shards_resumed
+        payload["failed_shards"] = result.failed_shards
+        payload["supervision"] = result.supervision
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote fleet metrics to {args.json}")
+    if recorder is not None:
+        from repro.telemetry import format_table
+
+        print(format_table(recorder.metrics.snapshot(), title="campaign telemetry"))
+    return 0 if result.shards_failed == 0 else 3
+
+
 def _add_kernel_flag(parser: argparse.ArgumentParser, default="reference") -> None:
     from repro.sim import KERNELS
 
@@ -917,6 +1102,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="scaled-down event counts for a smoke run (no speedup gate)",
     )
     bench.set_defaults(func=cmd_bench)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="fleet-scale MTTDL / P(loss) campaign with checkpoint/resume",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "policies:\n"
+            "  --policy alg[:regions][@period_hours], repeatable.  Examples:\n"
+            "    --policy sequential@168 --policy staggered:128@168\n"
+            "  Each policy's latent window (mean latent error time) is\n"
+            "  computed from its real sector-visit schedule.\n"
+            "resume:\n"
+            "  With --journal DIR every completed shard is checkpointed\n"
+            "  durably; re-running with the same spec and --resume skips\n"
+            "  checkpointed shards and reproduces the interrupted campaign\n"
+            "  bit-identically.  Exit code 3 means the campaign completed\n"
+            "  degraded (completeness < 1 after retries)."
+        ),
+    )
+    fleet.add_argument("--groups", type=int, default=10_000)
+    fleet.add_argument("--disks", type=int, default=8, help="drives per group")
+    fleet.add_argument(
+        "--raid", choices=("raid5", "raid1", "none"), default="raid5"
+    )
+    fleet.add_argument("--drive", default="ultrastar", help="drive preset")
+    fleet.add_argument("--mttf-hours", type=float, default=1.0e5)
+    fleet.add_argument("--mttr-hours", type=float, default=24.0)
+    fleet.add_argument("--spare-delay-hours", type=float, default=4.0)
+    fleet.add_argument(
+        "--lse-rate", type=float, default=1e-4,
+        help="latent-sector-error bursts per drive-hour",
+    )
+    fleet.add_argument(
+        "--policy", action="append",
+        default=None, metavar="ALG[:REGIONS][@PERIOD_H]",
+        help="scrub policy under evaluation (repeatable; default "
+        "sequential@168 and staggered:128@168)",
+    )
+    fleet.add_argument("--mission-years", type=float, default=10.0)
+    fleet.add_argument("--shards", type=int, default=16)
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--workers", type=int, default=0,
+        help="supervised worker processes (0/1 = serial in-process)",
+    )
+    fleet.add_argument(
+        "--journal", metavar="DIR", default=None,
+        help="durable checkpoint directory (enables resume)",
+    )
+    fleet.add_argument(
+        "--resume", action="store_true",
+        help="require an existing journal and skip its completed shards",
+    )
+    fleet.add_argument(
+        "--task-timeout", type=float, default=None,
+        help="per-shard deadline in seconds (hung workers are killed "
+        "and the shard retried)",
+    )
+    fleet.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="attempts per shard before it is abandoned (default 3)",
+    )
+    fleet.add_argument(
+        "--telemetry", action="store_true",
+        help="print campaign/supervision/cache counters",
+    )
+    fleet.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the fleet metrics as JSON",
+    )
+    fleet.set_defaults(func=cmd_fleet)
 
     return parser
 

@@ -1,0 +1,210 @@
+"""The fleet shard kernel: Monte-Carlo drive-years, one shard at a time.
+
+:func:`fleet_shard_task` is the campaign's unit of distributed work: a
+module-level pure function of its parameters, which makes it
+
+* **poolable** — it pickles across process boundaries for
+  :class:`~repro.parallel.supervise.SupervisedRunner`;
+* **checkpointable** — its result caches under a content-addressed key
+  (:class:`~repro.parallel.cache.ResultCache` over the canonicalized
+  :class:`~repro.fleet.spec.CampaignSpec` + shard range), which is the
+  whole resume story;
+* **reproducible** — every random draw comes from
+  :func:`~repro.fleet.spec.group_seed`, so results depend only on
+  (spec, group index), never on shard layout, retries, worker count or
+  interruption history.
+
+The per-group model is the renewal cycle shared with the closed-form
+predictor (:func:`repro.raid.reliability.group_reliability`): wait for
+a whole-drive failure, sit degraded for the spare-attach delay, rebuild
+for MTTR; lose data to a second failure inside the exposure window or
+to a latent sector error met by the rebuild read, whose probability the
+scrub policy sets through its latent window.  Each group ends the
+mission in exactly one state — ``ok``, ``degraded``, ``rebuilding`` or
+``lost`` — and the shard result carries the full conservation ledger
+that :func:`repro.verify.fleet.check_shard_result` audits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.fleet.spec import CampaignSpec, group_profile, group_seed
+from repro.raid.reliability import HOURS_PER_YEAR, lse_exposure_probability
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = ["fleet_shard_task", "simulate_group"]
+
+
+def simulate_group(
+    rng: np.random.Generator,
+    disks: int,
+    redundancy: int,
+    mttf_hours: float,
+    mttr_hours: float,
+    spare_delay_hours: float,
+    p_lse: float,
+    mission_hours: float,
+) -> Dict[str, float]:
+    """One redundancy group's mission: events until loss or mission end.
+
+    Returns the group's ledger: final ``state``, observed hours (the
+    group's clock stops at loss), drive failures, completed rebuilds,
+    and the loss mode (``double`` / ``lse`` / ``unprotected``) if any.
+    """
+    lam = 1.0 / mttf_hours
+    window = spare_delay_hours + mttr_hours
+    t = 0.0
+    failures = 0
+    rebuilds = 0
+    state = "ok"
+    loss_mode = None
+    while True:
+        wait = rng.exponential(1.0 / (disks * lam))
+        if t + wait >= mission_hours:
+            t = mission_hours
+            break
+        t += wait
+        failures += 1
+        if redundancy == 0:
+            state = "lost"
+            loss_mode = "unprotected"
+            break
+        # Exposure window: degraded (spare attach) then rebuilding.
+        second = rng.exponential(1.0 / ((disks - 1) * lam))
+        if second < window:
+            if t + second >= mission_hours:
+                # Mission ended while exposed, before the second failure.
+                exposed = mission_hours - t
+                t = mission_hours
+                state = (
+                    "degraded" if exposed < spare_delay_hours else "rebuilding"
+                )
+                break
+            failures += 1
+            t += second
+            state = "lost"
+            loss_mode = "double"
+            break
+        if t + spare_delay_hours >= mission_hours:
+            t = mission_hours
+            state = "degraded"
+            break
+        if t + window >= mission_hours:
+            t = mission_hours
+            state = "rebuilding"
+            break
+        t += window
+        # The rebuild read sweeps the survivors; an unrepaired latent
+        # error there is unrecoverable (the paper's Section I scenario).
+        if rng.random() < p_lse:
+            state = "lost"
+            loss_mode = "lse"
+            break
+        rebuilds += 1
+    return {
+        "state": state,
+        "loss_mode": loss_mode,
+        "observed_hours": t,
+        "drive_failures": failures,
+        "rebuilds_completed": rebuilds,
+    }
+
+
+def fleet_shard_task(
+    spec: CampaignSpec,
+    shard_index: int,
+    group_start: int,
+    group_count: int,
+    latent_windows: Tuple[float, ...],
+) -> dict:
+    """Simulate groups ``[group_start, group_start+group_count)``.
+
+    ``latent_windows`` is ``resolve_latent_windows(spec)``, precomputed
+    once by the campaign runner so shards skip the schedule replay; it
+    is a pure function of the spec, so passing it keeps the cache key
+    honest.  The result is a plain dict (pickle/JSON-safe) with one
+    ledger per policy plus a telemetry snapshot for fleet-level
+    merging.
+    """
+    if group_count <= 0:
+        raise ValueError(f"group_count must be positive: {group_count}")
+    if len(latent_windows) != len(spec.policies):
+        raise ValueError(
+            f"{len(latent_windows)} latent windows for "
+            f"{len(spec.policies)} policies"
+        )
+    fleet = spec.fleet
+    mission_hours = spec.mission_years * HOURS_PER_YEAR
+    registry = MetricsRegistry()
+    policies = []
+    for policy_index, policy in enumerate(spec.policies):
+        window = latent_windows[policy_index]
+        states = {"ok": 0, "degraded": 0, "rebuilding": 0, "lost": 0}
+        losses = {"double": 0, "lse": 0, "unprotected": 0}
+        drive_failures = 0
+        rebuilds_completed = 0
+        group_hours = []
+        for group_index in range(group_start, group_start + group_count):
+            profile = group_profile(fleet, spec.seed, group_index)
+            p_lse = lse_exposure_probability(
+                fleet.disks_per_group - 1,
+                profile.lse_burst_rate_per_hour,
+                window,
+            )
+            rng = np.random.default_rng(group_seed(spec.seed, group_index))
+            ledger = simulate_group(
+                rng,
+                fleet.disks_per_group,
+                fleet.redundancy,
+                profile.mttf_hours,
+                fleet.mttr_hours,
+                fleet.spare_delay_hours,
+                p_lse,
+                mission_hours,
+            )
+            states[ledger["state"]] += 1
+            if ledger["loss_mode"] is not None:
+                losses[ledger["loss_mode"]] += 1
+                registry.histogram("fleet.time_to_loss_years").observe(
+                    ledger["observed_hours"] / HOURS_PER_YEAR
+                )
+            drive_failures += ledger["drive_failures"]
+            rebuilds_completed += ledger["rebuilds_completed"]
+            group_hours.append(ledger["observed_hours"])
+        # fsum is exactly rounded, so the shard sum — and the campaign
+        # merge re-summing the per-group hours — is independent of how
+        # the fleet happens to be partitioned into shards.
+        observed_group_hours = math.fsum(group_hours)
+        total_losses = sum(losses.values())
+        registry.counter("fleet.groups").inc(group_count)
+        registry.counter("fleet.drive_failures").inc(drive_failures)
+        registry.counter("fleet.rebuilds_completed").inc(rebuilds_completed)
+        registry.counter("fleet.losses").inc(total_losses)
+        registry.counter("fleet.losses.double").inc(losses["double"])
+        registry.counter("fleet.losses.lse").inc(losses["lse"])
+        policies.append(
+            {
+                "name": policy.name,
+                "groups": group_count,
+                "losses": total_losses,
+                "losses_by_mode": dict(losses),
+                "drive_failures": drive_failures,
+                "rebuilds_completed": rebuilds_completed,
+                "observed_group_hours": observed_group_hours,
+                "drive_hours": observed_group_hours * fleet.disks_per_group,
+                "group_hours": group_hours,
+                "states": dict(states),
+                "latent_window_hours": float(window),
+            }
+        )
+    return {
+        "shard": int(shard_index),
+        "group_start": int(group_start),
+        "group_count": int(group_count),
+        "policies": policies,
+        "telemetry": {"metrics": registry.snapshot()},
+    }

@@ -7,9 +7,15 @@ Fig. 15 sizing curves.  This package provides:
 * :class:`SweepRunner` — fans tasks across a process pool with
   deterministic per-task seeds; parallel output is bit-identical to
   serial;
+* :class:`SupervisedRunner` — the fault-tolerant execution layer for
+  long campaigns: one supervised process per task attempt, heartbeat
+  and hung-task detection, :class:`RetryPolicy` backoff with seeded
+  jitter, straggler re-dispatch, and per-task :class:`TaskOutcome`
+  reporting instead of batch-poisoning failures;
 * :class:`ResultCache` — on-disk memoisation keyed on (task function,
-  canonicalized parameters, library version), so re-running a sweep
-  with unchanged inputs never re-simulates;
+  canonicalized parameters, library version) with self-verifying
+  entries (corrupt checkpoints are evicted, not fatal), so re-running
+  a sweep with unchanged inputs never re-simulates;
 * :func:`derive_seed` / :func:`canonicalize` — the deterministic
   building blocks, exported for tests and custom sweeps.
 """
@@ -21,12 +27,16 @@ from repro.parallel.cache import (
     default_cache_dir,
 )
 from repro.parallel.runner import SweepRunner, SweepTaskError, derive_seed
+from repro.parallel.supervise import RetryPolicy, SupervisedRunner, TaskOutcome
 
 __all__ = [
     "CACHE_DIR_ENV",
     "ResultCache",
+    "RetryPolicy",
+    "SupervisedRunner",
     "SweepRunner",
     "SweepTaskError",
+    "TaskOutcome",
     "canonicalize",
     "default_cache_dir",
     "derive_seed",

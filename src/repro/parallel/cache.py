@@ -12,6 +12,17 @@ cache key is a SHA-256 over three components:
 Entries are pickle files under ``$REPRO_CACHE_DIR`` (default
 ``~/.cache/repro/sweeps``), written atomically via a temp file and
 ``os.replace`` so concurrent writers can never leave a torn entry.
+
+Entries written since PR 7 are *self-verifying*: the payload is
+prefixed with a header carrying its SHA-256, so a truncated, bit-rotted
+or torn entry is detected on read, **evicted** from disk (rather than
+poisoning every future run with a crash or a silent wrong value), and
+counted — in :attr:`ResultCache.evictions` and, when a telemetry sink
+is attached, in the ``cache.evictions`` counter.  Pre-PR 7 entries
+(bare pickles) are still readable; ones that fail to unpickle are
+evicted the same way.  Fleet campaign journals
+(:mod:`repro.fleet.journal`) lean on this: a corrupt shard checkpoint
+degrades to recomputing that shard, never to a crashed resume.
 """
 
 from __future__ import annotations
@@ -29,6 +40,11 @@ from repro.traces.record import Trace
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Header magic for self-verifying entries: magic + hex SHA-256 of the
+#: payload + newline, then the pickle payload itself.
+_ENTRY_MAGIC = b"RPRC1\n"
+_DIGEST_LEN = 64  # hex sha256
 
 
 def default_cache_dir() -> Path:
@@ -101,12 +117,16 @@ class ResultCache:
         Invalidation tag mixed into every key; defaults to the library
         version, so upgrading the library abandons stale entries
         in place (they are never read again).
+    telemetry:
+        Optional telemetry sink; corrupt-entry evictions are counted in
+        its ``cache.evictions`` metric.
     """
 
     def __init__(
         self,
         root: Optional[Union[str, Path]] = None,
         version: Optional[str] = None,
+        telemetry=None,
     ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         if version is None:
@@ -114,6 +134,11 @@ class ResultCache:
         self.version = version
         self.hits = 0
         self.misses = 0
+        #: Corrupt or truncated entries deleted from disk on read.
+        self.evictions = 0
+        self.telemetry = (
+            telemetry if telemetry is not None and telemetry.enabled else None
+        )
 
     def key(self, fn: Callable, params: dict) -> str:
         """Cache key for calling ``fn(**params)`` under this version."""
@@ -128,18 +153,52 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
-    def get(self, key: str) -> Tuple[bool, Any]:
-        """Return ``(hit, value)``; unreadable entries count as misses.
-
-        Any load failure is a miss: besides the usual pickle errors, a
-        corrupted entry can make ``pickle.load`` raise nearly anything
-        (e.g. ``ValueError`` from a garbage opcode argument), and a
-        cache must degrade to recomputation rather than propagate that.
-        """
+    def _evict(self, path: Path, reason: str) -> None:
+        """Delete a corrupt entry so it can never poison another run."""
         try:
-            with open(self._path(key), "rb") as fh:
-                value = pickle.load(fh)
+            path.unlink()
+        except OSError:
+            pass
+        self.evictions += 1
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter("cache.evictions").inc()
+            self.telemetry.metrics.counter(f"cache.evictions.{reason}").inc()
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; bad entries are evicted and miss.
+
+        A load failure is always a miss, but it is also a *detection*:
+        digest-mismatched (truncated, bit-flipped) and unpicklable
+        entries are deleted on the spot and counted in
+        :attr:`evictions` / the ``cache.evictions`` telemetry counter,
+        so corruption degrades to one recomputation instead of a crash
+        or a stale read on every later run.
+        """
+        path = self._path(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return False, None
+        header = len(_ENTRY_MAGIC) + _DIGEST_LEN + 1
+        if data.startswith(_ENTRY_MAGIC):
+            payload = data[header:]
+            recorded = data[len(_ENTRY_MAGIC):header - 1]
+            if (
+                len(data) < header
+                or hashlib.sha256(payload).hexdigest().encode() != recorded
+            ):
+                self._evict(path, "digest")
+                self.misses += 1
+                return False, None
+        else:
+            payload = data  # pre-PR 7 bare-pickle entry
+        try:
+            # A corrupted payload can make pickle raise nearly anything
+            # (e.g. ValueError from a garbage opcode argument).
+            value = pickle.loads(payload)
         except Exception:
+            self._evict(path, "unpicklable")
             self.misses += 1
             return False, None
         self.hits += 1
@@ -149,10 +208,12 @@ class ResultCache:
         """Store ``value`` atomically (temp file + ``os.replace``)."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(payload).hexdigest().encode()
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(_ENTRY_MAGIC + digest + b"\n" + payload)
             os.replace(tmp, path)
         except BaseException:
             try:

@@ -28,10 +28,14 @@ A worker that *dies* (segfault, OOM kill, ``os._exit``) poisons the
 whole ``ProcessPoolExecutor``: every outstanding future raises
 ``BrokenProcessPool`` and, naively, a single bad parameter set aborts
 the entire sweep with no indication of which task was at fault.
-:meth:`SweepRunner.map` instead retries each affected task once on a
-fresh single-worker pool — tasks that merely shared the poisoned pool
-succeed there — and raises a structured :class:`SweepTaskError` naming
-the reproducibly-fatal parameter sets.
+:meth:`SweepRunner.map` instead retries each affected task on a fresh
+single-worker pool — tasks that merely shared the poisoned pool
+succeed there — under a configurable
+:class:`~repro.parallel.supervise.RetryPolicy` (max attempts,
+exponential backoff, seeded jitter; the default reproduces the legacy
+single immediate retry), and raises a structured
+:class:`SweepTaskError` naming the reproducibly-fatal parameter sets
+once a task has exhausted its attempts.
 """
 
 from __future__ import annotations
@@ -39,6 +43,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, List, Optional, Sequence, Tuple
@@ -47,11 +52,12 @@ from repro.parallel.cache import ResultCache
 
 
 class SweepTaskError(RuntimeError):
-    """Sweep tasks crashed their worker process, twice each.
+    """Sweep tasks crashed their worker process on every attempt.
 
-    Raised only after every victim of a broken pool got a clean retry
-    on a fresh worker; the tasks listed here killed that worker too,
-    so the crash is attributable to their parameters.
+    Raised only after every victim of a broken pool got clean retries
+    on fresh workers (one per attempt allowed by the retry policy); the
+    tasks listed here killed each of those workers too, so the crash is
+    attributable to their parameters.
     """
 
     def __init__(self, failures: List[Tuple[int, dict]]) -> None:
@@ -131,6 +137,11 @@ class SweepRunner:
         memory (default).  ``False`` falls back to pickling them with
         the rest of the parameters — the pre-shared-memory behaviour,
         kept as an escape hatch and for A/B benchmarks.
+    retry:
+        :class:`~repro.parallel.supervise.RetryPolicy` governing how
+        broken-pool victims are retried on fresh workers.  Default:
+        :data:`~repro.parallel.supervise.LEGACY_RETRY` (two attempts,
+        no backoff) — the pre-PR 7 behaviour.
     """
 
     def __init__(
@@ -140,17 +151,23 @@ class SweepRunner:
         base_seed: Optional[int] = None,
         telemetry=None,
         share_traces: bool = True,
+        retry=None,
     ) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
         if workers < 0:
             raise ValueError(f"workers must be >= 0: {workers}")
+        if retry is None:
+            from repro.parallel.supervise import LEGACY_RETRY as retry
+        self.retry = retry
         self.workers = int(workers)
         self.cache = cache
         self.base_seed = base_seed
         self.share_traces = share_traces
         #: Tasks actually executed (cache misses) over this runner's life.
         self.executed = 0
+        #: Extra attempts spent re-running broken-pool victims.
+        self.retries = 0
         #: Optional telemetry sink metering the sweep itself (tasks
         #: mapped/executed/cache-served).  Task-internal telemetry rides
         #: inside the results — see :meth:`merge_task_telemetry`.
@@ -240,6 +257,7 @@ class SweepRunner:
             tasks.append(params)
 
         results: List[Any] = [None] * len(tasks)
+        previous_retries = self.retries
         pending: List[tuple] = []  # (index, cache key, params)
         for index, params in enumerate(tasks):
             if self.cache is not None:
@@ -285,16 +303,30 @@ class SweepRunner:
                             victims.append((index, key, params))
                 failures: List[Tuple[int, dict]] = []
                 for index, key, params in victims:
-                    # One retry each, isolated on a fresh worker: a task that
-                    # only *shared* the poisoned pool completes here, while a
-                    # genuinely fatal parameter set kills its private worker.
-                    try:
-                        with ProcessPoolExecutor(max_workers=1) as pool:
-                            outcomes.append(
-                                (index, key, pool.submit(_call, fn, params).result())
-                            )
-                    except BrokenProcessPool:
-                        failures.append((index, params))
+                    # Retries isolated on fresh workers, governed by the
+                    # retry policy: a task that only *shared* the poisoned
+                    # pool completes on its first clean worker, while a
+                    # genuinely fatal parameter set kills every private
+                    # worker the policy grants it.  The pool run above
+                    # was attempt 1.
+                    attempt = 1
+                    while True:
+                        if attempt >= self.retry.max_attempts:
+                            failures.append((index, params))
+                            break
+                        delay = self.retry.delay(attempt, index)
+                        if delay > 0:
+                            time.sleep(delay)
+                        attempt += 1
+                        self.retries += 1
+                        try:
+                            with ProcessPoolExecutor(max_workers=1) as pool:
+                                outcomes.append(
+                                    (index, key, pool.submit(_call, fn, params).result())
+                                )
+                        except BrokenProcessPool:
+                            continue
+                        break
                 if failures:
                     raise SweepTaskError(sorted(failures))
             else:
@@ -319,6 +351,14 @@ class SweepRunner:
             metrics.counter("parallel.executed").inc(len(outcomes))
             metrics.counter("parallel.cache_served").inc(
                 len(tasks) - len(pending)
+            )
+            # Attempt accounting: every executed task cost one attempt,
+            # plus whatever the broken-pool retry loop spent on top.
+            metrics.counter("parallel.attempts").inc(
+                len(outcomes) + self.retries - previous_retries
+            )
+            metrics.counter("parallel.retries").inc(
+                self.retries - previous_retries
             )
             metrics.gauge("parallel.workers").set(self.workers)
         return results

@@ -1,0 +1,487 @@
+"""Fault-tolerant task supervision: heartbeats, retries, stragglers.
+
+:class:`~repro.parallel.runner.SweepRunner` assumes workers mostly
+behave: a crashed process gets one clean retry and everything else is
+trusted to finish.  Fleet campaigns (:mod:`repro.fleet`) run long
+enough that the execution layer itself must be as fault-tolerant as
+the storage it models — workers get SIGKILLed by the OOM killer,
+wedge in uninterruptible sleep, or straggle an order of magnitude
+behind their peers.  :class:`SupervisedRunner` runs one process per
+task attempt and supervises it end to end:
+
+* **worker-death detection** — each worker holds a pipe to the
+  supervisor; a killed worker closes it, and the EOF is observed on
+  the next poll, not after a batch barrier;
+* **heartbeats** — a daemon thread in the worker beats every
+  ``heartbeat_interval`` seconds, so a worker that is alive-but-frozen
+  (SIGSTOP, D-state) is distinguished from one that is merely slow and
+  is declared lost after ``heartbeat_grace`` missed beats;
+* **hung-task deadline** — a task that exceeds ``task_timeout``
+  wall-clock seconds (e.g. an accidental sleep-forever) is terminated
+  and treated like any other failed attempt;
+* **retries with seeded backoff** — every failure mode feeds one
+  :class:`RetryPolicy`: exponential backoff with *deterministic*
+  per-(task, attempt) jitter, so a thundering herd of retries spreads
+  out identically on every run;
+* **straggler re-dispatch** — once half the tasks have finished, a
+  task running longer than ``straggler_factor`` times the median
+  completion time is speculatively duplicated on a free slot; the
+  first copy to finish wins and the loser is terminated.  Tasks are
+  pure functions of their parameters, so speculation can never change
+  a result, only its arrival time;
+* **graceful degradation** — a task that exhausts its attempts is
+  reported as a failed :class:`TaskOutcome` instead of poisoning the
+  batch; callers salvage the completed remainder (see the campaign
+  completeness fraction in :mod:`repro.fleet.campaign`).
+
+Determinism contract: supervision affects *when* results arrive, never
+*what* they are.  Task functions must be pure functions of their
+kwargs (the :mod:`repro.parallel` rule), which makes retries and
+speculative duplicates observationally free.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.parallel.runner import derive_seed
+
+__all__ = ["RetryPolicy", "SupervisedRunner", "TaskOutcome"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic, seeded jitter.
+
+    ``max_attempts`` counts *all* attempts, the first included; the
+    delay before attempt ``k+1`` is ``backoff_base *
+    backoff_multiplier**(k-1)`` capped at ``backoff_max`` and shrunk by
+    up to ``jitter`` (a fraction) using a hash of ``(seed, task,
+    attempt)`` — the same task retries at the same instants on every
+    run, but different tasks never retry in lockstep.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.5
+    backoff_multiplier: float = 2.0
+    backoff_max: float = 30.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {self.max_attempts}")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError(
+                f"backoff_multiplier must be >= 1: {self.backoff_multiplier}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1]: {self.jitter}")
+
+    def delay(self, attempt: int, task_index: int = 0) -> float:
+        """Backoff before retrying after ``attempt`` failed tries (>= 1)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1: {attempt}")
+        base = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_multiplier ** (attempt - 1),
+        )
+        if base == 0.0 or self.jitter == 0.0:
+            return base
+        unit = derive_seed(self.seed, attempt * 1_000_003 + task_index) / float(
+            1 << 63
+        )
+        return base * (1.0 - self.jitter * unit)
+
+
+#: Retry policy reproducing the pre-PR 7 SweepRunner behaviour: one
+#: immediate retry on a fresh worker, nothing else.
+LEGACY_RETRY = RetryPolicy(
+    max_attempts=2, backoff_base=0.0, backoff_max=0.0, jitter=0.0
+)
+
+
+@dataclass
+class TaskOutcome:
+    """What supervision observed for one task, success or not."""
+
+    index: int
+    ok: bool = False
+    value: Any = None
+    error: Optional[str] = None
+    #: Attempts actually started (1 for a clean first-try success).
+    attempts: int = 0
+    #: Attempts terminated by the hung-task deadline.
+    timeouts: int = 0
+    #: Attempts that ended with the worker process dying.
+    worker_deaths: int = 0
+    #: Attempts whose heartbeats stopped while the task kept running.
+    stalls: int = 0
+    #: Wall-clock duration of the winning (or final failing) attempt.
+    duration: float = 0.0
+    #: Speculative duplicates launched for this task.
+    speculated: int = 0
+
+
+def _supervised_worker(conn, fn, kwargs, heartbeat_interval) -> None:
+    """Worker entry point: run the task, beating while it runs.
+
+    The heartbeat thread and the result send share ``lock`` because
+    ``Connection.send`` is not thread-safe; the thread exits as soon as
+    the event is set or the pipe breaks (supervisor gone).
+    """
+    lock = threading.Lock()
+    done = threading.Event()
+
+    def beat() -> None:
+        while not done.wait(heartbeat_interval):
+            try:
+                with lock:
+                    conn.send(("hb", None))
+            except Exception:
+                return
+
+    if heartbeat_interval and heartbeat_interval > 0:
+        threading.Thread(target=beat, daemon=True).start()
+    try:
+        try:
+            value = fn(**kwargs)
+        except BaseException as exc:  # report, don't kill the pipe silently
+            message = ("err", f"{type(exc).__name__}: {exc}")
+        else:
+            message = ("ok", value)
+        done.set()
+        with lock:
+            conn.send(message)
+    except Exception:
+        pass  # supervisor already gone or result unpicklable; EOF tells it
+    finally:
+        done.set()
+        conn.close()
+
+
+class _Attempt:
+    """One running worker process for one task."""
+
+    __slots__ = (
+        "index", "params", "attempt", "process", "conn",
+        "started", "last_beat", "speculative",
+    )
+
+    def __init__(self, index, params, attempt, process, conn, now, speculative):
+        self.index = index
+        self.params = params
+        self.attempt = attempt
+        self.process = process
+        self.conn = conn
+        self.started = now
+        self.last_beat = now
+        self.speculative = speculative
+
+
+@dataclass
+class _Pending:
+    """A task attempt waiting for a slot (possibly in backoff)."""
+
+    index: int
+    params: dict
+    attempt: int
+    ready_at: float = 0.0
+
+
+class SupervisedRunner:
+    """Run pure tasks under full supervision (see module docstring).
+
+    Parameters
+    ----------
+    workers:
+        Maximum concurrently running worker processes (default: CPU
+        count).  ``0``/``1`` still supervises — one worker at a time —
+        because supervision, not parallelism, is the point here.
+    task_timeout:
+        Hung-task deadline in wall-clock seconds per attempt
+        (``None`` disables).
+    heartbeat_interval:
+        Worker heartbeat period in seconds (``0`` disables heartbeats
+        and stall detection).
+    heartbeat_grace:
+        Missed-beat multiplier: a worker silent for
+        ``heartbeat_grace * heartbeat_interval`` seconds is lost.
+    retry:
+        :class:`RetryPolicy`; default three attempts with jittered
+        exponential backoff.
+    straggler_factor:
+        Speculative re-dispatch threshold as a multiple of the median
+        completed duration (``None`` disables speculation).
+    telemetry:
+        Optional telemetry sink; supervision counters land in its
+        metrics registry under ``supervise.*``.
+    """
+
+    _POLL = 0.05  # max seconds between supervision sweeps
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        task_timeout: Optional[float] = None,
+        heartbeat_interval: float = 1.0,
+        heartbeat_grace: float = 5.0,
+        retry: Optional[RetryPolicy] = None,
+        straggler_factor: Optional[float] = None,
+        telemetry=None,
+    ) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        self.workers = max(1, int(workers))
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(f"task_timeout must be positive: {task_timeout}")
+        self.task_timeout = task_timeout
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.heartbeat_grace = float(heartbeat_grace)
+        self.retry = retry if retry is not None else RetryPolicy()
+        if straggler_factor is not None and straggler_factor <= 1.0:
+            raise ValueError(
+                f"straggler_factor must exceed 1: {straggler_factor}"
+            )
+        self.straggler_factor = straggler_factor
+        self.telemetry = (
+            telemetry if telemetry is not None and telemetry.enabled else None
+        )
+        # Fork keeps task functions defined in __main__ usable and skips
+        # re-importing the world per attempt; spawn-only platforms fall
+        # back to their default.
+        methods = mp.get_all_start_methods()
+        self._ctx = mp.get_context("fork" if "fork" in methods else None)
+
+    # -- internals -----------------------------------------------------------
+
+    def _spawn(self, fn, pending: _Pending, now: float, speculative: bool):
+        parent, child = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_supervised_worker,
+            args=(child, fn, pending.params, self.heartbeat_interval),
+            daemon=True,
+        )
+        process.start()
+        child.close()
+        return _Attempt(
+            pending.index, pending.params, pending.attempt + 1,
+            process, parent, now, speculative,
+        )
+
+    @staticmethod
+    def _terminate(attempt: _Attempt) -> None:
+        try:
+            attempt.process.terminate()
+            attempt.process.join(timeout=2.0)
+            if attempt.process.is_alive():
+                attempt.process.kill()
+                attempt.process.join(timeout=2.0)
+        finally:
+            attempt.conn.close()
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(name).inc(amount)
+
+    # -- the supervision loop ------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable,
+        param_sets: Sequence[dict],
+        on_result: Optional[Callable[[TaskOutcome], None]] = None,
+    ) -> List[TaskOutcome]:
+        """Supervise ``fn(**params)`` for every parameter set.
+
+        Returns one :class:`TaskOutcome` per input, in input order;
+        failed tasks come back with ``ok=False`` and the last error
+        rather than raising, so a batch always completes.  ``on_result``
+        fires once per task the moment its outcome is final (completion
+        order, not input order) — campaigns use it to checkpoint shards
+        as they land rather than after a barrier.
+        """
+        outcomes = [TaskOutcome(index=i) for i in range(len(param_sets))]
+        queue: deque = deque(
+            _Pending(i, dict(params), 0) for i, params in enumerate(param_sets)
+        )
+        running: Dict[Any, _Attempt] = {}  # conn -> attempt
+        done: set = set()
+        durations: List[float] = []
+        self._count("supervise.tasks", len(param_sets))
+
+        def finish(outcome: TaskOutcome) -> None:
+            done.add(outcome.index)
+            if not outcome.ok:
+                self._count("supervise.failed")
+            if on_result is not None:
+                on_result(outcome)
+
+        def retire(attempt: _Attempt, now: float, kind: str, error: str) -> None:
+            """An attempt failed; retry with backoff or finalise."""
+            self._terminate(attempt)
+            if attempt.index in done:
+                return  # a speculative twin already won
+            outcome = outcomes[attempt.index]
+            outcome.error = error
+            outcome.duration = now - attempt.started
+            if kind == "timeout":
+                outcome.timeouts += 1
+                self._count("supervise.timeouts")
+            elif kind == "stall":
+                outcome.stalls += 1
+                self._count("supervise.stalls")
+            elif kind == "death":
+                outcome.worker_deaths += 1
+                self._count("supervise.worker_deaths")
+            else:
+                self._count("supervise.errors")
+            # Another in-flight copy of the same task keeps its chance.
+            if any(a.index == attempt.index for a in running.values()):
+                return
+            if attempt.attempt >= self.retry.max_attempts:
+                finish(outcome)
+                return
+            self._count("supervise.retries")
+            queue.append(
+                _Pending(
+                    attempt.index,
+                    attempt.params,
+                    attempt.attempt,
+                    ready_at=now + self.retry.delay(attempt.attempt, attempt.index),
+                )
+            )
+
+        def succeed(attempt: _Attempt, now: float, value: Any) -> None:
+            self._terminate(attempt)
+            if attempt.index in done:
+                return
+            outcome = outcomes[attempt.index]
+            outcome.ok = True
+            outcome.value = value
+            outcome.error = None
+            outcome.duration = now - attempt.started
+            durations.append(outcome.duration)
+            # Cancel twins (speculation) and queued retries of this task.
+            for conn, twin in list(running.items()):
+                if twin.index == attempt.index and twin is not attempt:
+                    self._terminate(twin)
+                    del running[conn]
+            for entry in [p for p in queue if p.index == attempt.index]:
+                queue.remove(entry)
+            finish(outcome)
+
+        try:
+            while queue or running:
+                now = time.monotonic()
+                # Launch everything ready while slots are free.
+                while len(running) < self.workers and queue:
+                    ready = [p for p in queue if p.ready_at <= now]
+                    if not ready:
+                        break
+                    pending = ready[0]
+                    queue.remove(pending)
+                    if pending.index in done:
+                        continue
+                    attempt = self._spawn(fn, pending, now, speculative=False)
+                    outcomes[pending.index].attempts += 1
+                    self._count("supervise.attempts")
+                    running[attempt.conn] = attempt
+                # Speculative straggler re-dispatch.
+                if (
+                    self.straggler_factor is not None
+                    and len(running) < self.workers
+                    and not queue
+                    and len(durations) * 2 >= len(param_sets)
+                    and durations
+                ):
+                    median = sorted(durations)[len(durations) // 2]
+                    threshold = self.straggler_factor * max(median, self._POLL)
+                    for attempt in list(running.values()):
+                        if len(running) >= self.workers:
+                            break
+                        if attempt.speculative or now - attempt.started < threshold:
+                            continue
+                        copies = sum(
+                            1 for a in running.values() if a.index == attempt.index
+                        )
+                        if copies > 1:
+                            continue
+                        twin = self._spawn(
+                            fn,
+                            _Pending(attempt.index, attempt.params, attempt.attempt - 1),
+                            now,
+                            speculative=True,
+                        )
+                        outcomes[attempt.index].attempts += 1
+                        outcomes[attempt.index].speculated += 1
+                        self._count("supervise.speculative")
+                        running[twin.conn] = twin
+                if not running:
+                    if queue:
+                        wake = min(p.ready_at for p in queue)
+                        time.sleep(min(max(wake - now, 0.0), self._POLL) or 0.001)
+                    continue
+                for conn in mp_connection.wait(list(running), timeout=self._POLL):
+                    attempt = running.get(conn)
+                    if attempt is None:
+                        continue
+                    now = time.monotonic()
+                    try:
+                        kind, payload = conn.recv()
+                    except (EOFError, OSError):
+                        del running[conn]
+                        retire(
+                            attempt, now, "death",
+                            f"worker pid={attempt.process.pid} died "
+                            f"(attempt {attempt.attempt})",
+                        )
+                        continue
+                    if kind == "hb":
+                        attempt.last_beat = now
+                    elif kind == "ok":
+                        del running[conn]
+                        succeed(attempt, now, payload)
+                    else:
+                        del running[conn]
+                        retire(attempt, now, "error", str(payload))
+                # Deadline / heartbeat sweeps.
+                now = time.monotonic()
+                for conn, attempt in list(running.items()):
+                    if (
+                        self.task_timeout is not None
+                        and now - attempt.started > self.task_timeout
+                    ):
+                        del running[conn]
+                        retire(
+                            attempt, now, "timeout",
+                            f"task exceeded {self.task_timeout:.3g}s deadline "
+                            f"(attempt {attempt.attempt})",
+                        )
+                    elif (
+                        self.heartbeat_interval > 0
+                        and now - attempt.last_beat
+                        > self.heartbeat_grace * self.heartbeat_interval
+                    ):
+                        del running[conn]
+                        retire(
+                            attempt, now, "stall",
+                            f"no heartbeat for "
+                            f"{now - attempt.last_beat:.3g}s "
+                            f"(attempt {attempt.attempt})",
+                        )
+        finally:
+            # KeyboardInterrupt or an on_result exception must not leak
+            # worker processes.
+            for attempt in running.values():
+                self._terminate(attempt)
+        return outcomes

@@ -23,13 +23,23 @@ This package provides:
 from repro.raid.array import DataLossError, RaidArray
 from repro.raid.errors import ErrorMap
 from repro.raid.geometry import RaidGeometry, RaidLevel
-from repro.raid.reliability import RebuildRiskModel
+from repro.raid.reliability import (
+    HOURS_PER_YEAR,
+    GroupReliability,
+    RebuildRiskModel,
+    group_reliability,
+    lse_exposure_probability,
+)
 
 __all__ = [
     "DataLossError",
     "ErrorMap",
+    "GroupReliability",
+    "HOURS_PER_YEAR",
     "RaidArray",
     "RaidGeometry",
     "RaidLevel",
     "RebuildRiskModel",
+    "group_reliability",
+    "lse_exposure_probability",
 ]

@@ -19,6 +19,11 @@ simulation must respect.  This package checks both, three ways:
 
 :mod:`repro.verify.selftest` plants seeded bugs and asserts the
 harness catches each one.  CLI entry point: ``repro verify``.
+
+PR 7 adds :mod:`repro.verify.fleet`: conservation laws for fleet
+campaigns — drive-state accounting across OK/degraded/rebuilding/lost,
+shard-range conservation, and checkpoint-digest consistency for the
+campaign journal.
 """
 
 from repro.verify.differential import (
@@ -27,6 +32,11 @@ from repro.verify.differential import (
     check_parallel,
     outcome_signature,
     run_axes,
+)
+from repro.verify.fleet import (
+    check_campaign_journal,
+    check_fleet_conservation,
+    check_shard_result,
 )
 from repro.verify.fuzzer import FuzzReport, fuzz, generate_configs, minimise
 from repro.verify.invariants import (
@@ -47,8 +57,11 @@ __all__ = [
     "InvariantSink",
     "InvariantViolation",
     "check_error_log",
+    "check_campaign_journal",
+    "check_fleet_conservation",
     "check_media_faults",
     "check_parallel",
+    "check_shard_result",
     "fuzz",
     "generate_configs",
     "minimise",

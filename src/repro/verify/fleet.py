@@ -1,0 +1,222 @@
+"""Fleet-level invariants: conservation laws for campaigns.
+
+The single-drive invariants (:mod:`repro.verify.invariants`) audit one
+simulation's event stream; a fleet campaign adds a layer of accounting
+that can silently rot — shards merged twice, a group counted in two
+states, checkpoints from a different campaign — so PR 7 adds the
+matching conservation laws:
+
+* **drive-state conservation** (:func:`check_shard_result`) — every
+  group ends the mission in exactly one of OK / degraded / rebuilding
+  / lost; loss modes sum to losses; lost groups equal losses; a group
+  cannot rebuild more often than drives failed; observed time is
+  bounded by the mission;
+* **fleet conservation** (:func:`check_fleet_conservation`) — shard
+  ranges are disjoint and inside the fleet, every policy block agrees
+  on its shard's group count, and a complete campaign covers exactly
+  the fleet;
+* **checkpoint-digest consistency** (:func:`check_campaign_journal`) —
+  the journal's manifest digest matches the spec, every recorded shard
+  key equals the key recomputed from the spec today, and every
+  checkpoint still loads (corrupt ones having been evicted, not
+  trusted).
+
+All violations raise the same structured
+:class:`~repro.verify.invariants.InvariantViolation` the runtime
+checker uses, so CI treats fleet rot exactly like an engine bug.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.verify.invariants import InvariantViolation
+
+__all__ = [
+    "check_campaign_journal",
+    "check_fleet_conservation",
+    "check_shard_result",
+]
+
+_STATES = ("ok", "degraded", "rebuilding", "lost")
+_MODES = ("double", "lse", "unprotected")
+
+
+def _violation(invariant: str, message: str) -> InvariantViolation:
+    return InvariantViolation(invariant, message)
+
+
+def check_shard_result(spec, result: dict) -> None:
+    """Audit one shard result's internal ledger."""
+    mission_hours = spec.mission_years * 8760.0
+    groups = result.get("group_count")
+    start = result.get("group_start")
+    if not isinstance(groups, int) or groups <= 0:
+        raise _violation(
+            "fleet-shard-shape", f"bad group_count {groups!r} in shard"
+        )
+    if not 0 <= start < spec.fleet.groups:
+        raise _violation(
+            "fleet-shard-shape",
+            f"shard group_start {start} outside fleet [0, {spec.fleet.groups})",
+        )
+    blocks = result.get("policies", [])
+    if len(blocks) != len(spec.policies):
+        raise _violation(
+            "fleet-shard-shape",
+            f"shard has {len(blocks)} policy blocks for "
+            f"{len(spec.policies)} policies",
+        )
+    for block in blocks:
+        name = block.get("name", "?")
+        states = block.get("states", {})
+        total_states = sum(states.get(state, 0) for state in _STATES)
+        if set(states) - set(_STATES):
+            raise _violation(
+                "fleet-state-conservation",
+                f"policy {name}: unknown drive-group states "
+                f"{sorted(set(states) - set(_STATES))}",
+            )
+        if total_states != block.get("groups") or total_states != groups:
+            raise _violation(
+                "fleet-state-conservation",
+                f"policy {name}: states sum to {total_states}, "
+                f"expected {groups} groups "
+                f"(ok={states.get('ok', 0)}, degraded={states.get('degraded', 0)}, "
+                f"rebuilding={states.get('rebuilding', 0)}, lost={states.get('lost', 0)})",
+            )
+        losses = block.get("losses", 0)
+        by_mode = block.get("losses_by_mode", {})
+        mode_sum = sum(by_mode.get(mode, 0) for mode in _MODES)
+        if set(by_mode) - set(_MODES) or mode_sum != losses:
+            raise _violation(
+                "fleet-state-conservation",
+                f"policy {name}: loss modes {by_mode} sum to {mode_sum}, "
+                f"expected {losses}",
+            )
+        if states.get("lost", 0) != losses:
+            raise _violation(
+                "fleet-state-conservation",
+                f"policy {name}: {states.get('lost', 0)} lost groups but "
+                f"{losses} loss events",
+            )
+        if block.get("rebuilds_completed", 0) > block.get("drive_failures", 0):
+            raise _violation(
+                "fleet-state-conservation",
+                f"policy {name}: more rebuilds "
+                f"({block.get('rebuilds_completed')}) than drive failures "
+                f"({block.get('drive_failures')})",
+            )
+        observed = block.get("observed_group_hours", 0.0)
+        if not 0.0 <= observed <= groups * mission_hours * (1 + 1e-9):
+            raise _violation(
+                "fleet-state-conservation",
+                f"policy {name}: observed {observed:.1f} group-hours "
+                f"outside [0, {groups * mission_hours:.1f}]",
+            )
+        group_hours = block.get("group_hours")
+        if group_hours is None or len(group_hours) != groups:
+            raise _violation(
+                "fleet-state-conservation",
+                f"policy {name}: {0 if group_hours is None else len(group_hours)} "
+                f"per-group hour entries for {groups} groups",
+            )
+        if math.fsum(group_hours) != observed:
+            raise _violation(
+                "fleet-state-conservation",
+                f"policy {name}: per-group hours sum to "
+                f"{math.fsum(group_hours):.6f}, ledger says {observed:.6f}",
+            )
+
+
+def check_fleet_conservation(
+    spec, shard_results: Sequence[dict], allow_partial: bool = False
+) -> None:
+    """Audit a set of shard results as one fleet.
+
+    ``allow_partial`` accepts gaps (a degraded campaign) but still
+    rejects overlaps, out-of-range shards, and over-coverage.
+    """
+    covered = []
+    for result in shard_results:
+        check_shard_result(spec, result)
+        covered.append(
+            (result["group_start"], result["group_start"] + result["group_count"])
+        )
+    covered.sort()
+    previous_end = None
+    total = 0
+    for start, end in covered:
+        if end > spec.fleet.groups:
+            raise _violation(
+                "fleet-conservation",
+                f"shard range [{start}, {end}) exceeds fleet of "
+                f"{spec.fleet.groups} groups",
+            )
+        if previous_end is not None and start < previous_end:
+            raise _violation(
+                "fleet-conservation",
+                f"shard ranges overlap at group {start}",
+            )
+        previous_end = end
+        total += end - start
+    if total > spec.fleet.groups:
+        raise _violation(
+            "fleet-conservation",
+            f"shards cover {total} groups, fleet has {spec.fleet.groups}",
+        )
+    if not allow_partial and total != spec.fleet.groups:
+        raise _violation(
+            "fleet-conservation",
+            f"shards cover {total} of {spec.fleet.groups} groups "
+            "(campaign incomplete)",
+        )
+
+
+def check_campaign_journal(journal_dir, spec) -> int:
+    """Audit a journal directory against its campaign spec.
+
+    Returns the number of verified checkpoints.  Raises
+    :class:`InvariantViolation` on digest drift: a manifest belonging
+    to a different campaign, a recorded key that no longer matches the
+    key recomputed from the spec, an out-of-range shard index, or a
+    referenced checkpoint that fails to load (missing or evicted as
+    corrupt).
+    """
+    from repro.fleet.campaign import CampaignRunner
+    from repro.fleet.journal import CampaignJournal, JournalError
+
+    try:
+        journal = CampaignJournal(journal_dir, spec)
+    except JournalError as exc:
+        raise _violation("checkpoint-digest", str(exc))
+    param_sets = CampaignRunner.shard_param_sets(spec)
+    expected = {
+        params["shard_index"]: journal.key_for(params) for params in param_sets
+    }
+    verified = 0
+    for shard_index, recorded_key in journal.completed().items():
+        if shard_index not in expected:
+            raise _violation(
+                "checkpoint-digest",
+                f"journal records shard {shard_index}, campaign has "
+                f"{len(expected)} shards",
+            )
+        if recorded_key != expected[shard_index]:
+            raise _violation(
+                "checkpoint-digest",
+                f"shard {shard_index} checkpoint key {recorded_key[:12]}... "
+                f"does not match the spec-derived key "
+                f"{expected[shard_index][:12]}...",
+            )
+        hit, result = journal.cache.get(recorded_key)
+        if not hit:
+            raise _violation(
+                "checkpoint-digest",
+                f"shard {shard_index} checkpoint {recorded_key[:12]}... "
+                "is missing or corrupt (evicted)",
+            )
+        check_shard_result(spec, result)
+        verified += 1
+    return verified

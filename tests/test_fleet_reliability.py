@@ -1,0 +1,183 @@
+"""Closed-form reliability model, and its agreement with the fleet MC.
+
+``group_reliability`` and ``fleet_shard_task`` implement the *same*
+renewal-cycle model — one analytically, one by simulation — so beyond
+sanity and monotonicity checks on the closed form, the load-bearing
+test here is calibration: on a homogeneous fleet the Monte-Carlo MTTDL
+estimate's 95% confidence interval must cover the closed-form value,
+and the mission loss probability must land inside its Wilson interval.
+
+The paper's qualitative claim rides on top: staggered scrubbing visits
+sectors sooner, shrinking the latent window (MLET), which lengthens
+MTTDL — and both the schedule-derived windows and the fleet estimates
+must order that way.
+"""
+
+import math
+
+import pytest
+
+from repro.fleet import (
+    CampaignRunner,
+    CampaignSpec,
+    DriveClass,
+    FleetSpec,
+    ScrubPolicySpec,
+    resolve_latent_windows,
+)
+from repro.raid import (
+    HOURS_PER_YEAR,
+    group_reliability,
+    lse_exposure_probability,
+)
+
+
+class TestClosedForm:
+    def test_unprotected_group_is_mttf_over_disks(self):
+        rel = group_reliability(
+            disks=8, mttf_hours=1e5, mttr_hours=24.0,
+            mission_hours=10 * HOURS_PER_YEAR, redundancy=0,
+        )
+        assert rel.mttdl_hours == pytest.approx(1e5 / 8)
+
+    def test_redundancy_buys_orders_of_magnitude(self):
+        bare = group_reliability(
+            disks=8, mttf_hours=1e5, mttr_hours=24.0,
+            mission_hours=10 * HOURS_PER_YEAR, redundancy=0,
+        )
+        raid = group_reliability(
+            disks=8, mttf_hours=1e5, mttr_hours=24.0,
+            mission_hours=10 * HOURS_PER_YEAR, redundancy=1,
+        )
+        assert raid.mttdl_hours > 50 * bare.mttdl_hours
+
+    @pytest.mark.parametrize(
+        "worse",
+        [
+            {"mttr_hours": 96.0},
+            {"disks": 16},
+            {"mttf_hours": 2e4},
+            {"spare_delay_hours": 48.0},
+            {"latent_window_hours": 300.0},
+        ],
+    )
+    def test_mttdl_monotone_in_risk_factors(self, worse):
+        base = dict(
+            disks=8, mttf_hours=1e5, mttr_hours=24.0,
+            mission_hours=10 * HOURS_PER_YEAR, spare_delay_hours=4.0,
+            lse_burst_rate_per_hour=1e-4, latent_window_hours=100.0,
+        )
+        degraded = dict(base)
+        degraded.update(worse)
+        assert (
+            group_reliability(**degraded).mttdl_hours
+            < group_reliability(**base).mttdl_hours
+        )
+
+    def test_probabilities_are_probabilities(self):
+        rel = group_reliability(
+            disks=8, mttf_hours=3e4, mttr_hours=48.0,
+            mission_hours=20 * HOURS_PER_YEAR, spare_delay_hours=8.0,
+            lse_burst_rate_per_hour=1e-3, latent_window_hours=200.0,
+        )
+        for p in (
+            rel.p_loss_mission, rel.p_rebuild_failure,
+            rel.p_double_failure, rel.p_lse_exposure,
+        ):
+            assert 0.0 <= p <= 1.0
+        assert rel.loss_rate_per_hour > 0
+        assert rel.mttdl_hours == pytest.approx(1.0 / rel.loss_rate_per_hour)
+
+    def test_lse_exposure_monotone_and_bounded(self):
+        p = [
+            lse_exposure_probability(7, 1e-4, window)
+            for window in (0.0, 50.0, 100.0, 1e9)
+        ]
+        assert p[0] == 0.0
+        assert p[0] < p[1] < p[2] < p[3] <= 1.0
+
+
+def _calibration_spec(window_hours=120.0):
+    """Homogeneous fleet, loss-rich, with an explicit latent window."""
+    return CampaignSpec(
+        fleet=FleetSpec(
+            groups=3000,
+            disks_per_group=4,
+            mttr_hours=36.0,
+            spare_delay_hours=6.0,
+            classes=(
+                DriveClass(mttf_hours=3.0e4, lse_burst_rate_per_hour=2e-4),
+            ),
+        ),
+        policies=(
+            ScrubPolicySpec(name="fixed", latent_window_hours=window_hours),
+        ),
+        mission_years=8.0,
+        seed=7,
+        shards=4,
+    )
+
+
+class TestMonteCarloCalibration:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return CampaignRunner(_calibration_spec()).run()
+
+    def test_enough_losses_for_a_meaningful_interval(self, result):
+        assert result.policies[0].losses >= 100
+
+    def test_closed_form_mttdl_inside_mc_confidence_interval(self, result):
+        estimate = result.policies[0]
+        low, high = estimate.mttdl_ci_hours
+        assert low < estimate.closed_form_mttdl_hours < high
+
+    def test_closed_form_p_loss_inside_wilson_interval(self, result):
+        estimate = result.policies[0]
+        low, high = estimate.p_loss_ci
+        assert low < estimate.closed_form_p_loss < high
+
+    def test_interval_is_tight_enough_to_mean_something(self, result):
+        low, high = result.policies[0].mttdl_ci_hours
+        assert high / low < 1.6  # >=100 losses: a narrow Poisson interval
+
+
+class TestScrubPolicyOrdering:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return CampaignSpec(
+            fleet=FleetSpec(
+                groups=1500,
+                disks_per_group=4,
+                mttr_hours=36.0,
+                spare_delay_hours=6.0,
+                classes=(
+                    DriveClass(mttf_hours=3.0e4, lse_burst_rate_per_hour=5e-4),
+                ),
+            ),
+            policies=(
+                ScrubPolicySpec(name="sequential-1w", algorithm="sequential"),
+                ScrubPolicySpec(
+                    name="staggered-1w", algorithm="staggered", regions=128
+                ),
+            ),
+            mission_years=8.0,
+            seed=11,
+            shards=4,
+        )
+
+    def test_staggering_shrinks_the_schedule_derived_window(self, spec):
+        sequential, staggered = resolve_latent_windows(spec)
+        assert staggered < sequential
+
+    def test_fleet_estimates_order_with_the_window(self, spec):
+        result = CampaignRunner(spec).run()
+        sequential, staggered = result.policies
+        assert staggered.latent_window_hours < sequential.latent_window_hours
+        # Common random numbers: identical failure draws, so staggered
+        # can only convert fewer exposures into losses.
+        assert staggered.losses < sequential.losses
+        assert staggered.mttdl_hours > sequential.mttdl_hours
+        assert (
+            staggered.closed_form_mttdl_hours
+            > sequential.closed_form_mttdl_hours
+        )

@@ -289,6 +289,130 @@ class TestWorkerCrashResilience:
         assert results == [3, 4]
 
 
+class TestCacheEviction:
+    """PR 7: corrupt entries are *deleted and counted*, not just missed."""
+
+    def test_digest_mismatch_is_evicted_from_disk(self, tmp_path):
+        from repro.telemetry import Recorder
+
+        recorder = Recorder(wall_time=False)
+        cache = ResultCache(tmp_path, telemetry=recorder)
+        key = cache.key(_square, {"x": 5})
+        cache.put(key, 25)
+        path = cache._path(key)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # flip one payload bit; the header digest catches it
+        path.write_bytes(bytes(blob))
+        hit, _ = cache.get(key)
+        assert not hit
+        assert not path.exists()  # evicted, not left to poison later runs
+        assert cache.evictions == 1
+        counters = recorder.metrics.snapshot()["counters"]
+        assert counters["cache.evictions"] == 1
+        assert counters["cache.evictions.digest"] == 1
+
+    def test_unpicklable_entry_is_evicted_and_counted(self, tmp_path):
+        from repro.telemetry import Recorder
+
+        recorder = Recorder(wall_time=False)
+        cache = ResultCache(tmp_path, telemetry=recorder)
+        key = cache.key(_square, {"x": 8})
+        path = cache._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not a pickle at all")
+        hit, _ = cache.get(key)
+        assert not hit and not path.exists()
+        counters = recorder.metrics.snapshot()["counters"]
+        assert counters["cache.evictions.unpicklable"] == 1
+
+    def test_legacy_bare_pickle_entries_still_hit(self, tmp_path):
+        import pickle
+
+        cache = ResultCache(tmp_path)
+        key = cache.key(_square, {"x": 6})
+        path = cache._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pickle.dumps(36))  # pre-PR 7 entry format
+        hit, value = cache.get(key)
+        assert hit and value == 36
+        assert cache.evictions == 0
+
+    def test_new_entries_are_self_verifying(self, tmp_path):
+        from repro.parallel.cache import _ENTRY_MAGIC
+
+        cache = ResultCache(tmp_path)
+        key = cache.key(_square, {"x": 2})
+        cache.put(key, 4)
+        assert cache._path(key).read_bytes().startswith(_ENTRY_MAGIC)
+
+
+def _die_n_times(sentinel, value, times):
+    """Kills its worker until ``times`` prior attempts are on record."""
+    import os
+
+    count = 0
+    if os.path.exists(sentinel):
+        with open(sentinel) as fh:
+            count = len(fh.readlines())
+    if count < times:
+        with open(sentinel, "a") as fh:
+            fh.write("x\n")
+        os._exit(1)
+    return value * 3
+
+
+class TestConfigurableRetry:
+    """PR 7: the broken-pool retry loop is policy-driven."""
+
+    def test_extra_attempts_rescue_a_twice_crashing_task(self, tmp_path):
+        from repro.parallel import RetryPolicy
+
+        sentinel = str(tmp_path / "double-crash")
+        policy = RetryPolicy(
+            max_attempts=4, backoff_base=0.0, backoff_max=0.0, jitter=0.0
+        )
+        runner = SweepRunner(workers=2, retry=policy)
+        params = [
+            {"sentinel": sentinel, "value": 7, "times": 2},
+            {"sentinel": str(tmp_path / "unused"), "value": 1, "times": 0},
+        ]
+        assert runner.map(_die_n_times, params) == [21, 3]
+        # The crasher burns exactly two retries; its pool-mate may add
+        # one more if the broken pool took it down before it finished.
+        assert 2 <= runner.retries <= 3
+
+    def test_default_policy_gives_up_after_one_retry(self, tmp_path):
+        from repro.parallel import SweepTaskError
+
+        sentinel = str(tmp_path / "stubborn")
+        params = [
+            {"sentinel": sentinel, "value": 7, "times": 5},
+            {"sentinel": str(tmp_path / "unused"), "value": 1, "times": 0},
+        ]
+        with pytest.raises(SweepTaskError):
+            SweepRunner(workers=2).map(_die_n_times, params)
+
+    def test_attempts_and_retries_land_in_telemetry(self, tmp_path):
+        from repro.parallel import RetryPolicy
+        from repro.telemetry import Recorder
+
+        recorder = Recorder(wall_time=False)
+        sentinel = str(tmp_path / "counted-crash")
+        policy = RetryPolicy(
+            max_attempts=3, backoff_base=0.0, backoff_max=0.0, jitter=0.0
+        )
+        runner = SweepRunner(workers=2, retry=policy, telemetry=recorder)
+        params = [
+            {"sentinel": sentinel, "value": 2, "times": 1},
+            {"sentinel": str(tmp_path / "unused"), "value": 5, "times": 0},
+        ]
+        assert runner.map(_die_n_times, params) == [6, 15]
+        counters = recorder.metrics.snapshot()["counters"]
+        assert counters["parallel.retries"] == runner.retries
+        assert counters["parallel.attempts"] == 2 + runner.retries
+        assert runner.retries >= 1
+
+
 class TestCachePoisoning:
     """A poisoned on-disk entry must degrade to recomputation.
 

@@ -1,0 +1,200 @@
+"""Tests for the fault-tolerant supervised runner (PR 7).
+
+The contract under test: supervision changes *when* results arrive,
+never *what* they are.  Every failure mode — a SIGKILLed worker, a
+task wedged past its deadline, a task that raises on every attempt —
+must be detected, retried per the policy, and finally reported as a
+structured :class:`TaskOutcome` instead of an exception, so a batch
+always completes and callers can salvage the survivors.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.parallel import RetryPolicy, SupervisedRunner, TaskOutcome
+from repro.parallel.supervise import LEGACY_RETRY
+
+
+def _square(x):
+    return x * x
+
+
+def _kill_once(sentinel, value):
+    """SIGKILLs its own worker on the first attempt only."""
+    if not os.path.exists(sentinel):
+        open(sentinel, "w").close()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value + 100
+
+
+def _always_kill(value):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _always_raise(value):
+    raise ValueError(f"task rejects {value}")
+
+
+def _hang(value):
+    time.sleep(600)
+    return value
+
+
+def _hang_once(sentinel, value):
+    """Sleeps forever on the first attempt, returns on the second."""
+    if not os.path.exists(sentinel):
+        open(sentinel, "w").close()
+        time.sleep(600)
+    return value * 7
+
+
+#: Fast deterministic policy for tests: retries are immediate.
+_FAST = RetryPolicy(max_attempts=3, backoff_base=0.0, backoff_max=0.0, jitter=0.0)
+
+
+class TestRetryPolicy:
+    def test_delays_are_deterministic_and_exponential(self):
+        policy = RetryPolicy(
+            max_attempts=5, backoff_base=1.0, backoff_multiplier=2.0,
+            backoff_max=30.0, jitter=0.25, seed=11,
+        )
+        delays = [policy.delay(attempt, task_index=3) for attempt in (1, 2, 3)]
+        assert delays == [
+            policy.delay(attempt, task_index=3) for attempt in (1, 2, 3)
+        ]
+        # Each delay lies in [base * (1 - jitter), base] for its attempt.
+        for attempt, delay in zip((1, 2, 3), delays):
+            base = 1.0 * 2.0 ** (attempt - 1)
+            assert base * 0.75 <= delay <= base
+
+    def test_jitter_differs_per_task_but_not_per_run(self):
+        policy = RetryPolicy(jitter=0.5, seed=2)
+        samples = {policy.delay(1, task_index=i) for i in range(16)}
+        assert len(samples) > 1  # tasks never retry in lockstep
+
+    def test_backoff_cap(self):
+        policy = RetryPolicy(
+            backoff_base=10.0, backoff_multiplier=10.0, backoff_max=15.0,
+            jitter=0.0,
+        )
+        assert policy.delay(3) == 15.0
+
+    def test_legacy_policy_is_one_immediate_retry(self):
+        assert LEGACY_RETRY.max_attempts == 2
+        assert LEGACY_RETRY.delay(1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0)
+
+
+class TestSupervisedRunner:
+    def test_results_in_input_order_first_try(self):
+        runner = SupervisedRunner(workers=3, retry=_FAST, heartbeat_interval=0.2)
+        outcomes = runner.map(_square, [{"x": i} for i in range(6)])
+        assert [o.value for o in outcomes] == [i * i for i in range(6)]
+        assert all(o.ok and o.attempts == 1 and o.error is None for o in outcomes)
+
+    def test_sigkilled_worker_is_detected_and_retried(self, tmp_path):
+        runner = SupervisedRunner(workers=2, retry=_FAST, heartbeat_interval=0.2)
+        sentinel = str(tmp_path / "killed-once")
+        (outcome,) = runner.map(_kill_once, [{"sentinel": sentinel, "value": 5}])
+        assert outcome.ok and outcome.value == 105
+        assert outcome.attempts == 2
+        assert outcome.worker_deaths == 1
+
+    def test_reproducible_death_degrades_gracefully(self):
+        runner = SupervisedRunner(workers=2, retry=_FAST, heartbeat_interval=0.2)
+        outcomes = runner.map(
+            _always_kill if False else _square, [{"x": 1}]
+        )  # sanity: runner reusable
+        assert outcomes[0].ok
+        (outcome,) = runner.map(_always_kill, [{"value": 1}])
+        assert not outcome.ok
+        assert outcome.attempts == _FAST.max_attempts
+        assert outcome.worker_deaths == _FAST.max_attempts
+        assert "died" in outcome.error
+
+    def test_hung_worker_hits_deadline_and_is_retried(self, tmp_path):
+        runner = SupervisedRunner(
+            workers=2, task_timeout=0.5, heartbeat_interval=0.1, retry=_FAST,
+        )
+        sentinel = str(tmp_path / "hung-once")
+        (outcome,) = runner.map(_hang_once, [{"sentinel": sentinel, "value": 3}])
+        assert outcome.ok and outcome.value == 21
+        assert outcome.timeouts == 1
+        assert outcome.attempts == 2
+
+    def test_sleep_forever_task_fails_with_bounded_wall_clock(self):
+        runner = SupervisedRunner(
+            workers=1, task_timeout=0.4, heartbeat_interval=0.1,
+            retry=RetryPolicy(max_attempts=2, backoff_base=0.0, jitter=0.0),
+        )
+        start = time.monotonic()
+        (outcome,) = runner.map(_hang, [{"value": 9}])
+        elapsed = time.monotonic() - start
+        assert not outcome.ok
+        assert outcome.timeouts == 2
+        assert "deadline" in outcome.error
+        assert elapsed < 10.0  # 2 attempts x 0.4s deadline, plus slack
+
+    def test_exceptions_are_reported_not_raised(self):
+        runner = SupervisedRunner(workers=2, retry=_FAST, heartbeat_interval=0.2)
+        outcomes = runner.map(
+            _always_raise, [{"value": 1}, {"value": 2}]
+        )
+        assert all(not o.ok for o in outcomes)
+        assert all(o.attempts == _FAST.max_attempts for o in outcomes)
+        assert "task rejects 1" in outcomes[0].error
+        assert "task rejects 2" in outcomes[1].error
+
+    def test_batch_survives_mixed_failures(self, tmp_path):
+        runner = SupervisedRunner(workers=2, retry=_FAST, heartbeat_interval=0.2)
+        sentinel = str(tmp_path / "mixed")
+        # Interleave healthy tasks with a transient killer and a
+        # permanent failure; the healthy results must be untouched.
+        outcomes_sq = runner.map(_square, [{"x": 2}, {"x": 3}])
+        (killed,) = runner.map(_kill_once, [{"sentinel": sentinel, "value": 1}])
+        (raised,) = runner.map(_always_raise, [{"value": 0}])
+        assert [o.value for o in outcomes_sq] == [4, 9]
+        assert killed.ok and raised.ok is False
+
+    def test_on_result_fires_once_per_task(self):
+        runner = SupervisedRunner(workers=2, retry=_FAST, heartbeat_interval=0.2)
+        seen = []
+        outcomes = runner.map(
+            _square, [{"x": i} for i in range(4)],
+            on_result=lambda outcome: seen.append(outcome.index),
+        )
+        assert sorted(seen) == [0, 1, 2, 3]  # completion order varies
+        assert all(isinstance(o, TaskOutcome) for o in outcomes)
+
+    def test_telemetry_counters(self, tmp_path):
+        from repro.telemetry import Recorder
+
+        recorder = Recorder(wall_time=False)
+        runner = SupervisedRunner(
+            workers=2, retry=_FAST, heartbeat_interval=0.2, telemetry=recorder,
+        )
+        sentinel = str(tmp_path / "counted")
+        runner.map(_kill_once, [{"sentinel": sentinel, "value": 1}])
+        counters = recorder.metrics.snapshot()["counters"]
+        assert counters["supervise.tasks"] == 1
+        assert counters["supervise.attempts"] == 2
+        assert counters["supervise.worker_deaths"] == 1
+        assert counters["supervise.retries"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SupervisedRunner(task_timeout=0.0)
+        with pytest.raises(ValueError):
+            SupervisedRunner(straggler_factor=1.0)
