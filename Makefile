@@ -4,7 +4,7 @@
 PYTHON ?= python
 TIMEOUT ?= 120
 
-.PHONY: tier1 smoke bench bench-telemetry bench-replay bench-verify bench-kernel bench-fleet verify-fuzz fleet-smoke check
+.PHONY: tier1 smoke bench bench-telemetry bench-replay bench-verify bench-kernel bench-fleet bench-obs verify-fuzz fleet-smoke check
 
 # The ROADMAP tier-1 verify, with a per-test wall-clock limit so a
 # wedged test fails fast instead of hanging CI (tools/pytest_timeout_lite).
@@ -76,6 +76,12 @@ fleet-smoke:
 # Fleet-campaign throughput + resume overhead (writes BENCH_PR7.json).
 bench-fleet:
 	PYTHONPATH=src $(PYTHON) benchmarks/perf_fleet.py
+
+# Observability gate (writes BENCH_PR8.json): campaign monitoring must
+# stay within 5% of a bare run with bit-identical results, and the
+# final status.json / Perfetto trace must pass the schema checks.
+bench-obs:
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_obs.py
 
 # Full experiment benchmarks (slow; regenerates the paper's figures).
 bench:

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Ten commands cover the library's main workflows:
+Eleven commands cover the library's main workflows:
 
 * ``generate``  — write a synthetic catalog trace to CSV;
 * ``analyze``   — Section V-A statistics for a trace (idle stats,
@@ -22,7 +22,11 @@ Ten commands cover the library's main workflows:
 * ``fleet``     — fleet-scale reliability campaign: MTTDL and
   P(data loss) per scrub policy over tens of thousands of drives,
   with durable per-shard checkpoints (``--journal``), bit-identical
-  resume (``--resume``), and fault-tolerant supervised workers.
+  resume (``--resume``), fault-tolerant supervised workers, and live
+  observability (``--monitor``: progress lines, ``status.json``,
+  event log, span trace, Prometheus textfile);
+* ``report``    — render a campaign monitor's observability
+  directory as a self-contained HTML run report.
 
 ``throughput``, ``detect`` and ``optimize`` also take ``--telemetry``
 (print a metrics summary table) and, where a simulation runs
@@ -506,6 +510,14 @@ def cmd_trace(args) -> int:
         args.out,
         recorder.chrome_events(process_name=f"{spec.name}:{args.algorithm}"),
     )
+    # Operational losses belong in the table, not in footnotes: surface
+    # the request-log ring overflow and cache segment evictions as
+    # first-class counters so a truncated log or a thrashing cache is
+    # visible in the same place as every other metric.
+    recorder.metrics.counter("device.log_dropped").inc(device.log.dropped)
+    recorder.metrics.counter("drive.cache_evictions").inc(
+        drive.cache.evictions
+    )
     print(format_table(recorder.metrics.snapshot(), title="run telemetry"))
     print(
         f"wrote {count} trace events to {args.out} "
@@ -670,6 +682,11 @@ def cmd_fleet(args) -> int:
 
     if args.resume and not args.journal:
         raise SystemExit("fleet: --resume needs --journal DIR to resume from")
+    if args.trace_out and not (args.monitor or args.monitor_dir):
+        raise SystemExit(
+            "fleet: --trace-out needs --monitor (the span recorder lives "
+            "in the campaign monitor)"
+        )
     if args.resume and not os.path.isfile(
         os.path.join(args.journal, "manifest.json")
     ):
@@ -715,6 +732,22 @@ def cmd_fleet(args) -> int:
         from repro.telemetry import Recorder
 
         recorder = Recorder(wall_time=False)
+    monitor = None
+    if args.monitor or args.monitor_dir:
+        from repro.obs import CampaignMonitor
+
+        obs_dir = args.monitor_dir or (
+            os.path.join(args.journal, "obs") if args.journal else "fleet-obs"
+        )
+
+        def _progress(line: str) -> None:
+            # Progress goes to stderr so result tables and --json stay
+            # clean for pipelines.
+            print(line, file=sys.stderr)
+
+        monitor = CampaignMonitor(
+            obs_dir, interval=args.status_interval, on_progress=_progress
+        )
     retry = RetryPolicy(max_attempts=args.max_attempts, seed=args.seed)
     runner = CampaignRunner(
         spec,
@@ -723,6 +756,7 @@ def cmd_fleet(args) -> int:
         task_timeout=args.task_timeout,
         retry=retry,
         telemetry=recorder,
+        monitor=monitor,
     )
     print(
         f"campaign {campaign_digest(spec)[:12]}: "
@@ -777,6 +811,37 @@ def cmd_fleet(args) -> int:
             f"{s['timeouts']} timeouts, {s['worker_deaths']} worker deaths, "
             f"{s['speculated']} speculative re-dispatches"
         )
+    if monitor is not None:
+        status = monitor.status()
+        workers_info = status["workers"]
+        print(
+            f"monitor: utilization {workers_info['utilization']:.2f} "
+            f"over {workers_info['configured']} workers, "
+            f"{status['throughput']['drive_years']:.0f} drive-years "
+            f"({status['throughput']['drive_years_per_s']:.0f}/s)"
+        )
+        print(f"{'shard':>6}{'state':>10}{'att':>5}{'wall':>9}{'rss':>10}")
+        for row in status["per_shard"]:
+            duration = row.get("duration_s")
+            wall = f"{duration:7.2f}s" if duration is not None else "      -"
+            rss = row.get("peak_rss_kb") or 0
+            rss_txt = f"{rss / 1024.0:8.1f}M" if rss else "        -"
+            print(
+                f"{row['index']:>6}{row['state']:>10}"
+                f"{row['attempts']:>5}{wall:>9}{rss_txt:>10}"
+            )
+        print(
+            f"monitor: wrote {monitor.status_path}, {monitor.events_path}, "
+            f"{monitor.trace_path}, {monitor.summary_path}"
+        )
+        if args.trace_out:
+            monitor.write_trace(args.trace_out)
+            print(f"wrote span trace to {args.trace_out}")
+    if args.prom_out:
+        from repro.obs import write_textfile
+
+        write_textfile(args.prom_out, result.telemetry)
+        print(f"wrote Prometheus textfile to {args.prom_out}")
     if args.json:
         payload = result.metrics_dict()
         payload["campaign_digest"] = campaign_digest(spec)
@@ -791,6 +856,29 @@ def cmd_fleet(args) -> int:
 
         print(format_table(recorder.metrics.snapshot(), title="campaign telemetry"))
     return 0 if result.shards_failed == 0 else 3
+
+
+def cmd_report(args) -> int:
+    import os
+
+    from repro.obs import build_report, load_obs_dir
+
+    try:
+        data = load_obs_dir(args.obs_dir)
+    except FileNotFoundError as exc:
+        raise SystemExit(f"report: {exc}")
+    path = build_report(args.obs_dir, out_path=args.out)
+    status = data.get("status") or {}
+    state = (data.get("summary") or {}).get("state") or status.get("state")
+    progress = status.get("progress_live", status.get("progress"))
+    detail = f", state {state}" if state else ""
+    if progress is not None:
+        detail += f", progress {progress:.0%}"
+    print(
+        f"wrote {path} ({os.path.getsize(path):,} bytes{detail}, "
+        f"{len(data.get('events') or [])} events)"
+    )
+    return 0
 
 
 def _add_kernel_flag(parser: argparse.ArgumentParser, default="reference") -> None:
@@ -1045,8 +1133,8 @@ def build_parser() -> argparse.ArgumentParser:
             "checker and through the differential oracle's axes (fast\n"
             "kernel vs instrumented twin, reference vs vector engine\n"
             "backend, array vs record replay feed, telemetry on vs off,\n"
-            "serial vs shm-parallel sweep).  Any\n"
-            "failing configuration is minimised and reprinted as a\n"
+            "serial vs shm-parallel sweep, campaign monitor on vs off).\n"
+            "Any failing configuration is minimised and reprinted as a\n"
             "copy-pasteable repro snippet.  The same --seed always draws\n"
             "the same configurations."
         ),
@@ -1059,7 +1147,8 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--axes", nargs="+", default=None,
         choices=(
-            "kernel-twin", "kernel-backend", "feed", "telemetry", "parallel"
+            "kernel-twin", "kernel-backend", "feed", "telemetry",
+            "parallel", "monitor",
         ),
         help="restrict the differential oracle to these axes",
     )
@@ -1172,7 +1261,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="FILE", default=None,
         help="also write the fleet metrics as JSON",
     )
+    fleet.add_argument(
+        "--monitor", action="store_true",
+        help="attach a CampaignMonitor: live progress lines, status.json, "
+        "events.jsonl, span trace and run summary in the obs directory",
+    )
+    fleet.add_argument(
+        "--monitor-dir", metavar="DIR", default=None,
+        help="observability output directory (implies --monitor; default "
+        "<journal>/obs, or ./fleet-obs without a journal)",
+    )
+    fleet.add_argument(
+        "--status-interval", type=float, default=2.0,
+        help="seconds between status.json rewrites / progress lines "
+        "(default %(default)s)",
+    )
+    fleet.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="also write the campaign span trace (Perfetto JSON) here",
+    )
+    fleet.add_argument(
+        "--prom-out", metavar="FILE", default=None,
+        help="write the final merged telemetry snapshot as a Prometheus "
+        "textfile (node_exporter textfile-collector format)",
+    )
     fleet.set_defaults(func=cmd_fleet)
+
+    report = sub.add_parser(
+        "report",
+        help="render a self-contained HTML report from a monitor obs dir",
+        description=(
+            "Read the status.json / summary.json / events.jsonl written by "
+            "'repro fleet --monitor' (or a CampaignMonitor) and render a "
+            "single-file HTML run report with KPIs, the per-policy "
+            "reliability table, shard-duration histogram and kernel-phase "
+            "breakdown.  Works on live and finished campaigns alike."
+        ),
+    )
+    report.add_argument(
+        "obs_dir", metavar="OBS_DIR",
+        help="observability directory (the fleet --monitor-dir)",
+    )
+    report.add_argument(
+        "--out", "-o", metavar="FILE", default=None,
+        help="output HTML path (default <OBS_DIR>/report.html)",
+    )
+    report.set_defaults(func=cmd_report)
 
     return parser
 

@@ -82,6 +82,9 @@ class DiskCache:
         self._segments: List[Segment] = []
         self.hits = 0
         self.misses = 0
+        #: LRU segments discarded to make room (capacity pressure, not
+        #: write invalidations) — surfaced in the ``repro trace`` table.
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._segments)
@@ -172,6 +175,7 @@ class DiskCache:
         self._segments.append(segment)
         if len(self._segments) > self.num_segments:
             self._segments.pop(0)
+            self.evictions += 1
         self._trim(segment)
         return segment
 

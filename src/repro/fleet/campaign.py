@@ -39,6 +39,7 @@ from repro.fleet.journal import CampaignJournal
 from repro.fleet.montecarlo import fleet_shard_task
 from repro.fleet.spec import (
     CampaignSpec,
+    campaign_digest,
     group_profile,
     resolve_latent_windows,
 )
@@ -248,6 +249,12 @@ class CampaignRunner:
         Optional hook ``(shard_index, result) -> None`` fired after
         each shard is checkpointed; tests use it to inject
         ``KeyboardInterrupt`` at precise points.
+    monitor:
+        Optional :class:`~repro.obs.monitor.CampaignMonitor` (duck
+        typed).  Purely observational: it receives lifecycle events and
+        worker heartbeat samples, and can never change a result — the
+        differential oracle's ``monitor`` axis asserts campaign metrics
+        are bit-identical with a monitor attached or not.
     """
 
     def __init__(
@@ -263,6 +270,7 @@ class CampaignRunner:
         verify: bool = True,
         task: Optional[Callable] = None,
         on_shard: Optional[Callable[[int, dict], None]] = None,
+        monitor=None,
     ) -> None:
         self.spec = spec
         self.journal_dir = journal_dir
@@ -277,6 +285,7 @@ class CampaignRunner:
         self.verify = verify
         self.task = task if task is not None else fleet_shard_task
         self.on_shard = on_shard
+        self.monitor = monitor
 
     @staticmethod
     def shard_param_sets(spec: CampaignSpec) -> List[dict]:
@@ -304,6 +313,16 @@ class CampaignRunner:
             if self.journal_dir is not None
             else None
         )
+        monitor = self.monitor
+        if monitor is not None:
+            monitor.campaign_started(
+                digest=campaign_digest(spec),
+                shard_ranges=spec.shard_ranges(),
+                policy_names=[policy.name for policy in spec.policies],
+                workers=self.workers,
+                mission_years=spec.mission_years,
+                disks_per_group=spec.fleet.disks_per_group,
+            )
 
         results: Dict[int, dict] = {}
         resumed = 0
@@ -314,6 +333,8 @@ class CampaignRunner:
                 if hit:
                     results[params["shard_index"]] = value
                     resumed += 1
+                    if monitor is not None:
+                        monitor.shard_resumed(params["shard_index"], value)
                     continue
             remaining.append(params)
         if self.telemetry is not None:
@@ -335,7 +356,13 @@ class CampaignRunner:
 
         if remaining and self.workers <= 1:
             for params in remaining:
-                land(params["shard_index"], params, self.task(**params))
+                shard_index = params["shard_index"]
+                if monitor is not None:
+                    monitor.shard_started(shard_index, attempt=1)
+                result = self.task(**params)
+                land(shard_index, params, result)
+                if monitor is not None:
+                    monitor.shard_completed(shard_index, result, attempt=1)
         elif remaining:
             from repro.parallel.supervise import SupervisedRunner
 
@@ -351,8 +378,46 @@ class CampaignRunner:
                 params = remaining[outcome.index]
                 if outcome.ok:
                     land(params["shard_index"], params, outcome.value)
+                    if monitor is not None:
+                        monitor.shard_completed(
+                            params["shard_index"],
+                            outcome.value,
+                            attempt=outcome.attempts,
+                            duration=outcome.duration,
+                        )
+                elif monitor is not None:
+                    monitor.shard_failed(
+                        params["shard_index"], outcome.error or "failed"
+                    )
 
-            outcomes = runner.map(self.task, remaining, on_result=on_result)
+            on_event = None
+            if monitor is not None:
+                def on_event(kind, index, info) -> None:
+                    shard_index = remaining[index]["shard_index"]
+                    if kind == "attempt_started":
+                        monitor.shard_started(
+                            shard_index,
+                            attempt=info.get("attempt", 1),
+                            speculative=info.get("speculative", False),
+                        )
+                    elif kind == "heartbeat":
+                        monitor.shard_heartbeat(
+                            shard_index,
+                            info.get("attempt", 1),
+                            info.get("payload"),
+                        )
+                    elif kind == "attempt_failed":
+                        monitor.shard_attempt_failed(
+                            shard_index,
+                            info.get("attempt", 1),
+                            info.get("kind", "error"),
+                            info.get("error", ""),
+                            info.get("duration", 0.0),
+                        )
+
+            outcomes = runner.map(
+                self.task, remaining, on_result=on_result, on_event=on_event
+            )
             for outcome, params in zip(outcomes, remaining):
                 if not outcome.ok:
                     failed.append(params["shard_index"])
@@ -363,11 +428,17 @@ class CampaignRunner:
                 "worker_deaths": sum(o.worker_deaths for o in outcomes),
                 "stalls": sum(o.stalls for o in outcomes),
                 "speculated": sum(o.speculated for o in outcomes),
+                "peak_rss_kb": max(
+                    (o.peak_rss_kb or 0 for o in outcomes), default=0
+                ),
             }
 
-        return self._merge(
+        result = self._merge(
             param_sets, results, resumed, sorted(failed), supervision
         )
+        if monitor is not None:
+            monitor.campaign_finished(result)
+        return result
 
     # -- merging and estimation ---------------------------------------------
 

@@ -28,11 +28,13 @@ that :func:`repro.verify.fleet.check_shard_result` audits.
 from __future__ import annotations
 
 import math
+import time
 from typing import Dict, Tuple
 
 import numpy as np
 
 from repro.fleet.spec import CampaignSpec, group_profile, group_seed
+from repro.obs.worker import PROBE
 from repro.raid.reliability import HOURS_PER_YEAR, lse_exposure_probability
 from repro.telemetry.metrics import MetricsRegistry
 
@@ -141,8 +143,13 @@ def fleet_shard_task(
     mission_hours = spec.mission_years * HOURS_PER_YEAR
     registry = MetricsRegistry()
     policies = []
+    phases = []
+    # One probe step per (policy, group): the heartbeat thread samples
+    # these two integers, nothing here ever blocks on observability.
+    PROBE.reset(group_count * len(spec.policies))
     for policy_index, policy in enumerate(spec.policies):
         window = latent_windows[policy_index]
+        phase_started = time.perf_counter()
         states = {"ok": 0, "degraded": 0, "rebuilding": 0, "lost": 0}
         losses = {"double": 0, "lse": 0, "unprotected": 0}
         drive_failures = 0
@@ -175,6 +182,7 @@ def fleet_shard_task(
             drive_failures += ledger["drive_failures"]
             rebuilds_completed += ledger["rebuilds_completed"]
             group_hours.append(ledger["observed_hours"])
+            PROBE.advance()
         # fsum is exactly rounded, so the shard sum — and the campaign
         # merge re-summing the per-group hours — is independent of how
         # the fleet happens to be partitioned into shards.
@@ -201,10 +209,21 @@ def fleet_shard_task(
                 "latent_window_hours": float(window),
             }
         )
+        phases.append(
+            {
+                "policy": policy.name,
+                "wall_s": time.perf_counter() - phase_started,
+            }
+        )
+    # "phases" is deliberately *outside* the telemetry snapshot: wall
+    # timings are non-deterministic, and keeping them out of the
+    # metrics keeps merged campaign telemetry (and metrics_dict)
+    # bit-identical across runs, shard layouts and monitor settings.
     return {
         "shard": int(shard_index),
         "group_start": int(group_start),
         "group_count": int(group_count),
         "policies": policies,
         "telemetry": {"metrics": registry.snapshot()},
+        "phases": phases,
     }

@@ -1,0 +1,97 @@
+"""Prometheus textfile exporter for metrics snapshots.
+
+Serialises any :meth:`~repro.telemetry.metrics.MetricsRegistry.snapshot`
+(or :func:`~repro.telemetry.metrics.merge_snapshots` result) into the
+Prometheus text exposition format, suitable for the node_exporter
+textfile collector: counters become ``TYPE counter``, gauges become
+``TYPE gauge``, and the fixed log-bucket histograms become native
+Prometheus histograms with cumulative ``_bucket{le=...}`` series plus
+``_count`` and ``_sum``.
+
+Metric names are sanitised (``sim.requests.completed`` →
+``repro_sim_requests_completed``); values render with :func:`repr` so
+the round trip through text is lossless for floats.  Writing goes
+through a temp file + :func:`os.replace` because node_exporter may
+scrape the directory at any moment.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import re
+import tempfile
+from typing import List
+
+from ..telemetry.metrics import Histogram
+
+__all__ = ["prometheus_lines", "write_textfile"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(prefix: str, name: str) -> str:
+    cleaned = _NAME_RE.sub("_", name)
+    full = f"{prefix}_{cleaned}" if prefix else cleaned
+    if not re.match(r"[a-zA-Z_]", full):
+        full = "_" + full
+    return full
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if math.isnan(value):
+            return "NaN"
+        return repr(value)
+    return str(value)
+
+
+def prometheus_lines(snapshot: dict, prefix: str = "repro") -> List[str]:
+    """Render a metrics snapshot as Prometheus exposition-format lines."""
+    lines: List[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = _metric_name(prefix, name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = _metric_name(prefix, name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(value)}")
+    for name, hist in snapshot.get("histograms", {}).items():
+        metric = _metric_name(prefix, name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for index, bucket in enumerate(hist["counts"]):
+            cumulative += bucket
+            bound = Histogram.bucket_bound(index)
+            lines.append(
+                f'{metric}_bucket{{le="{_fmt(float(bound))}"}} {cumulative}'
+            )
+        lines.append(f"{metric}_count {hist['count']}")
+        lines.append(f"{metric}_sum {_fmt(hist['sum'])}")
+    return lines
+
+
+def write_textfile(path: str, snapshot: dict, prefix: str = "repro") -> int:
+    """Atomically write ``snapshot`` in exposition format; returns lines.
+
+    Safe against concurrent scrapes: the file at ``path`` is always
+    either the previous complete export or the new one, never partial.
+    """
+    lines = prometheus_lines(snapshot, prefix=prefix)
+    text = "\n".join(lines) + "\n"
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".prom-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return len(lines)

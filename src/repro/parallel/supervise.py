@@ -51,6 +51,7 @@ from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.obs.worker import PROBE
 from repro.parallel.runner import derive_seed
 
 __all__ = ["RetryPolicy", "SupervisedRunner", "TaskOutcome"]
@@ -130,6 +131,16 @@ class TaskOutcome:
     duration: float = 0.0
     #: Speculative duplicates launched for this task.
     speculated: int = 0
+    #: Last progress sample shipped with a heartbeat (the worker-side
+    #: :data:`repro.obs.worker.PROBE` payload), if any arrived.
+    last_progress: Optional[dict] = None
+    #: Wall-clock (``time.time``) moment the task last *advanced* —
+    #: not merely beat — so a degraded campaign can say when a shard
+    #: actually wedged, not when supervision gave up on it.
+    last_progress_time: Optional[float] = None
+    #: Peak resident set size across this task's attempts, if the
+    #: worker platform reports it.
+    peak_rss_kb: Optional[int] = None
 
 
 def _supervised_worker(conn, fn, kwargs, heartbeat_interval) -> None:
@@ -146,7 +157,7 @@ def _supervised_worker(conn, fn, kwargs, heartbeat_interval) -> None:
         while not done.wait(heartbeat_interval):
             try:
                 with lock:
-                    conn.send(("hb", None))
+                    conn.send(("hb", PROBE.payload()))
             except Exception:
                 return
 
@@ -300,6 +311,7 @@ class SupervisedRunner:
         fn: Callable,
         param_sets: Sequence[dict],
         on_result: Optional[Callable[[TaskOutcome], None]] = None,
+        on_event: Optional[Callable[[str, int, dict], None]] = None,
     ) -> List[TaskOutcome]:
         """Supervise ``fn(**params)`` for every parameter set.
 
@@ -309,8 +321,22 @@ class SupervisedRunner:
         fires once per task the moment its outcome is final (completion
         order, not input order) — campaigns use it to checkpoint shards
         as they land rather than after a barrier.
+
+        ``on_event`` is a purely observational stream for monitors:
+        ``(kind, task_index, info)`` with kinds ``attempt_started``,
+        ``heartbeat``, ``attempt_failed`` and ``attempt_ok``.  It is
+        exception-isolated — a broken observer degrades monitoring,
+        never supervision.
         """
         outcomes = [TaskOutcome(index=i) for i in range(len(param_sets))]
+
+        def emit(kind: str, index: int, info: dict) -> None:
+            if on_event is None:
+                return
+            try:
+                on_event(kind, index, info)
+            except Exception:
+                pass
         queue: deque = deque(
             _Pending(i, dict(params), 0) for i, params in enumerate(param_sets)
         )
@@ -331,6 +357,15 @@ class SupervisedRunner:
             self._terminate(attempt)
             if attempt.index in done:
                 return  # a speculative twin already won
+            emit(
+                "attempt_failed", attempt.index,
+                {
+                    "attempt": attempt.attempt,
+                    "kind": kind,
+                    "error": error,
+                    "duration": now - attempt.started,
+                },
+            )
             outcome = outcomes[attempt.index]
             outcome.error = error
             outcome.duration = now - attempt.started
@@ -365,6 +400,10 @@ class SupervisedRunner:
             self._terminate(attempt)
             if attempt.index in done:
                 return
+            emit(
+                "attempt_ok", attempt.index,
+                {"attempt": attempt.attempt, "duration": now - attempt.started},
+            )
             outcome = outcomes[attempt.index]
             outcome.ok = True
             outcome.value = value
@@ -396,6 +435,14 @@ class SupervisedRunner:
                     outcomes[pending.index].attempts += 1
                     self._count("supervise.attempts")
                     running[attempt.conn] = attempt
+                    emit(
+                        "attempt_started", pending.index,
+                        {
+                            "attempt": attempt.attempt,
+                            "speculative": False,
+                            "pid": attempt.process.pid,
+                        },
+                    )
                 # Speculative straggler re-dispatch.
                 if (
                     self.straggler_factor is not None
@@ -426,6 +473,14 @@ class SupervisedRunner:
                         outcomes[attempt.index].speculated += 1
                         self._count("supervise.speculative")
                         running[twin.conn] = twin
+                        emit(
+                            "attempt_started", attempt.index,
+                            {
+                                "attempt": twin.attempt,
+                                "speculative": True,
+                                "pid": twin.process.pid,
+                            },
+                        )
                 if not running:
                     if queue:
                         wake = min(p.ready_at for p in queue)
@@ -448,6 +503,23 @@ class SupervisedRunner:
                         continue
                     if kind == "hb":
                         attempt.last_beat = now
+                        outcome = outcomes[attempt.index]
+                        if isinstance(payload, dict):
+                            previous = (outcome.last_progress or {}).get(
+                                "done", -1
+                            )
+                            if payload.get("done", 0) > previous:
+                                outcome.last_progress_time = time.time()
+                            outcome.last_progress = payload
+                            rss = payload.get("rss_kb")
+                            if rss is not None:
+                                outcome.peak_rss_kb = max(
+                                    outcome.peak_rss_kb or 0, int(rss)
+                                )
+                        emit(
+                            "heartbeat", attempt.index,
+                            {"attempt": attempt.attempt, "payload": payload},
+                        )
                     elif kind == "ok":
                         del running[conn]
                         succeed(attempt, now, payload)
@@ -473,11 +545,18 @@ class SupervisedRunner:
                         > self.heartbeat_grace * self.heartbeat_interval
                     ):
                         del running[conn]
+                        progress = outcomes[attempt.index].last_progress
+                        note = (
+                            f", last progress {progress.get('done')}"
+                            f"/{progress.get('total')}"
+                            if progress
+                            else ""
+                        )
                         retire(
                             attempt, now, "stall",
                             f"no heartbeat for "
                             f"{now - attempt.last_beat:.3g}s "
-                            f"(attempt {attempt.attempt})",
+                            f"(attempt {attempt.attempt}{note})",
                         )
         finally:
             # KeyboardInterrupt or an on_result exception must not leak

@@ -16,6 +16,8 @@ flatten the simulator's in-memory logs:
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from typing import IO, Dict, Iterable, Iterator, Union
 
 __all__ = [
@@ -32,6 +34,11 @@ def write_jsonl(
 
     Keys are written in insertion order (the adapters emit a stable
     order), so identical runs produce byte-identical files.
+
+    Path destinations are crash-safe: records stream into a temp file
+    in the same directory, atomically renamed over the final path only
+    once every record is written and flushed — a SIGKILL mid-export
+    leaves the previous file (or no file), never a torn one.
     """
     count = 0
     if hasattr(destination, "write"):
@@ -39,10 +46,24 @@ def write_jsonl(
             destination.write(json.dumps(record) + "\n")
             count += 1
         return count
-    with open(destination, "w", encoding="utf-8") as handle:
-        for record in records:
-            handle.write(json.dumps(record) + "\n")
-            count += 1
+    directory = os.path.dirname(os.path.abspath(destination)) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=".jsonl-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+                count += 1
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, destination)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     return count
 
 

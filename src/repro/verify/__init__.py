@@ -29,6 +29,7 @@ campaign journal.
 from repro.verify.differential import (
     AXES,
     DifferentialMismatch,
+    check_monitor,
     check_parallel,
     outcome_signature,
     run_axes,
@@ -60,6 +61,7 @@ __all__ = [
     "check_campaign_journal",
     "check_fleet_conservation",
     "check_media_faults",
+    "check_monitor",
     "check_parallel",
     "check_shard_result",
     "fuzz",

@@ -23,6 +23,10 @@ axis                paths compared
                     perturbs)
 ``parallel``        serial execution vs the shm-parallel
                     :class:`~repro.parallel.runner.SweepRunner` pool
+``monitor``         a fleet campaign with no observer vs the same
+                    campaign under a live
+                    :class:`~repro.obs.monitor.CampaignMonitor` — the
+                    campaign-scale passivity contract (PR 8)
 ==================  ====================================================
 
 Outcomes are reduced to a SHA-256 *signature* through
@@ -44,6 +48,7 @@ from repro.verify.scenario import run_scenario
 __all__ = [
     "AXES",
     "DifferentialMismatch",
+    "check_monitor",
     "check_parallel",
     "outcome_signature",
     "run_axes",
@@ -51,8 +56,12 @@ __all__ = [
 
 #: All axes, in the order ``run_axes`` exercises them.  ``parallel``
 #: is batch-level (one pool spawn amortised over many configs) and
-#: lives in :func:`check_parallel`.
-AXES = ("kernel-twin", "kernel-backend", "feed", "telemetry", "parallel")
+#: lives in :func:`check_parallel`; ``monitor`` runs a small seeded
+#: fleet campaign rather than the scenario itself.
+AXES = (
+    "kernel-twin", "kernel-backend", "feed", "telemetry", "parallel",
+    "monitor",
+)
 
 
 class DifferentialMismatch(AssertionError):
@@ -158,7 +167,60 @@ def run_axes(
         signatures["telemetry"] = _compare(
             "telemetry", base, off, on, include_telemetry=False
         )
+    if "monitor" in selected:
+        signatures["monitor"] = check_monitor(int(base.get("seed", 0) or 0))
     return signatures
+
+
+def check_monitor(seed: int = 0) -> str:
+    """The ``monitor`` axis: campaign observability must be passive.
+
+    Runs one small seeded fleet campaign twice — bare, then under a
+    live :class:`~repro.obs.monitor.CampaignMonitor` writing every
+    surface (status.json on each event, events JSONL, spans) into a
+    temp directory — and requires the canonical campaign metrics and
+    the merged telemetry snapshot to be bit-identical.  Latent windows
+    are given explicitly so the check stays milliseconds-fast (no MLET
+    schedule replay).
+    """
+    import tempfile
+
+    from repro.fleet.campaign import CampaignRunner
+    from repro.fleet.spec import (
+        CampaignSpec,
+        DriveClass,
+        FleetSpec,
+        ScrubPolicySpec,
+    )
+    from repro.obs.monitor import CampaignMonitor
+
+    spec = CampaignSpec(
+        fleet=FleetSpec(
+            groups=16,
+            disks_per_group=4,
+            classes=(
+                DriveClass(mttf_hours=2.0e4, lse_burst_rate_per_hour=1e-3),
+            ),
+        ),
+        policies=(
+            ScrubPolicySpec(name="weekly", latent_window_hours=84.0),
+            ScrubPolicySpec(
+                name="staggered", algorithm="staggered",
+                latent_window_hours=62.0,
+            ),
+        ),
+        mission_years=5.0,
+        seed=seed,
+        shards=4,
+    )
+    bare = CampaignRunner(spec).run()
+    with tempfile.TemporaryDirectory() as tmp:
+        monitored = CampaignRunner(
+            spec, monitor=CampaignMonitor(tmp, interval=0.0)
+        ).run()
+    off = {"metrics": bare.metrics_dict(), "telemetry": bare.telemetry}
+    on = {"metrics": monitored.metrics_dict(), "telemetry": monitored.telemetry}
+    return _compare("monitor", {"seed": seed}, off, on, include_telemetry=True)
 
 
 def check_parallel(

@@ -170,3 +170,71 @@ class TestBench:
         monkeypatch.chdir(tmp_path)
         with pytest.raises(SystemExit, match="could not find"):
             main(["bench"])
+
+
+class TestFleetMonitor:
+    """PR 8: live observability flags on the fleet command."""
+
+    _BASE = [
+        "fleet", "--groups", "24", "--disks", "4", "--shards", "3",
+        "--mission-years", "3", "--policy", "sequential@168",
+        "--mttf-hours", "2e4", "--lse-rate", "2e-4",
+    ]
+
+    def test_monitor_writes_all_surfaces(self, tmp_path, capsys):
+        obs = tmp_path / "obs"
+        code = main(self._BASE + [
+            "--monitor-dir", str(obs), "--status-interval", "0",
+            "--prom-out", str(tmp_path / "m.prom"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "monitor: utilization" in out
+        for name in ("status.json", "events.jsonl", "trace.json",
+                     "summary.json"):
+            assert (obs / name).exists()
+        assert "repro_" in (tmp_path / "m.prom").read_text()
+
+    def test_monitor_is_passive_on_results(self, tmp_path, capsys):
+        import json
+
+        bare_json = tmp_path / "bare.json"
+        mon_json = tmp_path / "mon.json"
+        assert main(self._BASE + ["--json", str(bare_json)]) == 0
+        capsys.readouterr()
+        assert main(self._BASE + [
+            "--json", str(mon_json),
+            "--monitor-dir", str(tmp_path / "obs"), "--status-interval", "0",
+        ]) == 0
+        assert json.loads(bare_json.read_text()) == \
+            json.loads(mon_json.read_text())
+
+    def test_trace_out_requires_monitor(self, tmp_path):
+        with pytest.raises(SystemExit, match="--monitor"):
+            main(self._BASE + ["--trace-out", str(tmp_path / "t.json")])
+
+    def test_report_roundtrip(self, tmp_path, capsys):
+        obs = tmp_path / "obs"
+        assert main(self._BASE + [
+            "--monitor-dir", str(obs), "--status-interval", "0",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["report", str(obs)]) == 0
+        assert "report.html" in capsys.readouterr().out
+        assert "</html>" in (obs / "report.html").read_text()
+
+    def test_report_empty_dir_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="monitor"):
+            main(["report", str(tmp_path)])
+
+
+class TestTraceCounters:
+    def test_trace_table_surfaces_drops_and_evictions(self, tmp_path, capsys):
+        code = main([
+            "trace", "--horizon", "0.5",
+            "--out", str(tmp_path / "trace.json"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "device.log_dropped" in out
+        assert "drive.cache_evictions" in out

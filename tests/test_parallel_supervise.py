@@ -198,3 +198,73 @@ class TestSupervisedRunner:
             SupervisedRunner(task_timeout=0.0)
         with pytest.raises(ValueError):
             SupervisedRunner(straggler_factor=1.0)
+
+
+def _probed_task(steps, pause):
+    """Advances the worker progress probe slowly enough to be sampled."""
+    from repro.obs.worker import PROBE
+
+    PROBE.reset(steps)
+    for _ in range(steps):
+        time.sleep(pause)
+        PROBE.advance()
+    return steps
+
+
+class TestProgressProbe:
+    """PR 8: heartbeats ship worker progress + RSS onto TaskOutcome."""
+
+    def test_outcome_carries_progress_and_rss(self):
+        runner = SupervisedRunner(workers=1, heartbeat_interval=0.05)
+        (outcome,) = runner.map(_probed_task, [{"steps": 8, "pause": 0.05}])
+        assert outcome.ok
+        assert outcome.last_progress is not None
+        assert outcome.last_progress["total"] == 8
+        assert outcome.last_progress["done"] > 0
+        assert outcome.last_progress_time is not None
+        assert outcome.peak_rss_kb and outcome.peak_rss_kb > 0
+
+    def test_fast_task_without_heartbeat_has_none(self):
+        # A task finishing inside one heartbeat never ships a payload;
+        # the fields stay None rather than inventing a zero sample.
+        runner = SupervisedRunner(workers=1, heartbeat_interval=30.0)
+        (outcome,) = runner.map(_square, [{"x": 5}])
+        assert outcome.ok and outcome.value == 25
+        assert outcome.last_progress is None
+        assert outcome.last_progress_time is None
+
+    def test_on_event_stream(self):
+        events = []
+        runner = SupervisedRunner(workers=1, heartbeat_interval=0.05)
+        runner.map(
+            _probed_task, [{"steps": 6, "pause": 0.05}],
+            on_event=lambda kind, index, info: events.append((kind, index)),
+        )
+        kinds = [kind for kind, _ in events]
+        assert kinds[0] == "attempt_started"
+        assert kinds[-1] == "attempt_ok"
+        assert "heartbeat" in kinds
+        assert all(index == 0 for _, index in events)
+
+    def test_on_event_callback_failure_is_swallowed(self):
+        def boom(kind, index, info):
+            raise RuntimeError("observer died")
+
+        runner = SupervisedRunner(workers=1, heartbeat_interval=0.2)
+        (outcome,) = runner.map(_square, [{"x": 3}], on_event=boom)
+        assert outcome.ok and outcome.value == 9
+
+    def test_on_event_reports_failures(self, tmp_path):
+        events = []
+        runner = SupervisedRunner(workers=1, retry=_FAST, heartbeat_interval=0.2)
+        sentinel = str(tmp_path / "probe-kill")
+        (outcome,) = runner.map(
+            _kill_once, [{"sentinel": sentinel, "value": 1}],
+            on_event=lambda kind, index, info: events.append((kind, info)),
+        )
+        assert outcome.ok
+        failed = [info for kind, info in events if kind == "attempt_failed"]
+        assert len(failed) == 1
+        assert failed[0]["kind"] == "death"
+        assert failed[0]["attempt"] == 1
+        assert failed[0]["duration"] >= 0.0

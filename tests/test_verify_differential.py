@@ -70,7 +70,7 @@ class TestRunAxes:
     def test_all_axes_agree(self, family):
         signatures = run_axes(SCENARIOS[family])
         assert set(signatures) == {
-            "kernel-twin", "kernel-backend", "feed", "telemetry"
+            "kernel-twin", "kernel-backend", "feed", "telemetry", "monitor"
         }
         assert all(len(s) == 64 for s in signatures.values())
         # kernel-twin, kernel-backend and telemetry all compare
@@ -118,7 +118,22 @@ class TestParallelAxis:
         assert check_parallel([]) == []
 
 
-def test_axes_constant_covers_all_five():
+class TestMonitorAxis:
+    def test_monitored_campaign_bit_identical(self):
+        from repro.verify import check_monitor
+
+        # Same seed, same signature: the axis itself is deterministic.
+        assert check_monitor(seed=5) == check_monitor(seed=5)
+
+    def test_run_axes_includes_monitor(self):
+        from repro.verify.differential import run_axes
+
+        signatures = run_axes(SCENARIOS["synthetic"], axes=("monitor",))
+        assert set(signatures) == {"monitor"}
+
+
+def test_axes_constant_covers_all_six():
     assert AXES == (
-        "kernel-twin", "kernel-backend", "feed", "telemetry", "parallel"
+        "kernel-twin", "kernel-backend", "feed", "telemetry", "parallel",
+        "monitor",
     )

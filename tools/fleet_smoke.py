@@ -1,7 +1,7 @@
 """Fleet-campaign smoke: kill it, wedge it, resume it — bit-identically.
 
-``make fleet-smoke`` runs this end to end.  Four acts, each an
-acceptance criterion from PR 7:
+``make fleet-smoke`` runs this end to end.  Five acts — the first four
+are acceptance criteria from PR 7, the fifth from PR 8:
 
 1. **Baseline** — run a small campaign serially, record its metrics
    and journal-audit its checkpoints.
@@ -17,6 +17,14 @@ acceptance criterion from PR 7:
    attempt must trip the hung-task deadline, exhaust its retries, and
    degrade the campaign to an explicit ``completeness < 1`` with every
    other shard's results intact.
+5. **Watch it die and come back** — run the campaign under a
+   :class:`~repro.obs.CampaignMonitor`, interrupt it mid-flight, then
+   resume with a *fresh* monitor on the same observability directory:
+   the ``progress`` values in the continuous ``events.jsonl`` must be
+   monotone non-decreasing across the interruption (durable progress
+   only counts journalled shards), the final ``status.json`` must
+   reach progress 1.0, and the resumed metrics must stay bit-identical
+   to the baseline — monitoring is passive.
 
 Everything is deterministic (fixed spec seed), so a failure here is
 reproducible by rerunning the same command.
@@ -212,6 +220,61 @@ def main() -> int:
         failures += not check(
             "surviving shards fully merged",
             all(p.groups == expected_groups for p in degraded.policies),
+        )
+
+        print("act 5: monitored campaign, interrupted and resumed")
+        from repro.obs import CampaignMonitor
+
+        obs_dir = os.path.join(tmp, "obs")
+        monitored_journal = os.path.join(tmp, "monitored")
+
+        class _Interrupt(Exception):
+            pass
+
+        def interrupt_midway(shard_index, result):
+            if shard_index == 3:
+                raise _Interrupt  # stands in for ^C / SIGKILL
+
+        try:
+            CampaignRunner(
+                spec,
+                journal_dir=monitored_journal,
+                on_shard=interrupt_midway,
+                monitor=CampaignMonitor(obs_dir, interval=0.0),
+            ).run()
+            failures += not check("campaign was interrupted", False)
+        except _Interrupt:
+            pass
+        resumed_monitored = CampaignRunner(
+            spec,
+            journal_dir=monitored_journal,
+            monitor=CampaignMonitor(obs_dir, interval=0.0),
+        ).run()
+        failures += not check(
+            "resume skipped monitored checkpoints",
+            resumed_monitored.shards_resumed >= 1,
+            f"{resumed_monitored.shards_resumed} resumed",
+        )
+        with open(os.path.join(obs_dir, "events.jsonl")) as fh:
+            events = [json.loads(line) for line in fh if line.strip()]
+        progress = [e["progress"] for e in events if "progress" in e]
+        failures += not check(
+            "progress monotone across interruption + resume",
+            bool(progress) and progress == sorted(progress),
+            f"{len(progress)} samples, "
+            f"{progress[0] if progress else '-'} -> "
+            f"{progress[-1] if progress else '-'}",
+        )
+        with open(os.path.join(obs_dir, "status.json")) as fh:
+            status = json.load(fh)
+        failures += not check(
+            "final status complete",
+            status["state"] == "done" and status["progress"] == 1.0,
+            f"state {status['state']}, progress {status['progress']}",
+        )
+        failures += not check(
+            "monitored resume bit-identical to baseline",
+            resumed_monitored.metrics_dict() == baseline.metrics_dict(),
         )
 
     print(json.dumps({"fleet_smoke_failures": failures}))
