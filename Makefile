@@ -4,7 +4,7 @@
 PYTHON ?= python
 TIMEOUT ?= 120
 
-.PHONY: tier1 smoke bench bench-telemetry bench-replay bench-verify bench-kernel bench-fleet bench-obs verify-fuzz fleet-smoke check
+.PHONY: tier1 smoke bench bench-telemetry bench-replay bench-verify bench-kernel bench-fleet bench-obs bench-corpus verify-fuzz fleet-smoke check
 
 # The ROADMAP tier-1 verify, with a per-test wall-clock limit so a
 # wedged test fails fast instead of hanging CI (tools/pytest_timeout_lite).
@@ -82,6 +82,14 @@ bench-fleet:
 # final status.json / Perfetto trace must pass the schema checks.
 bench-obs:
 	PYTHONPATH=src $(PYTHON) benchmarks/perf_obs.py
+
+# Corpus-scale tuning gate (writes BENCH_PR9.json): the successive-
+# halving search must spend >=5x fewer interval-evaluations than the
+# exhaustive grid with throughput within 1% on every seeded catalog
+# workload, and streaming a >=1GB on-disk corpus must keep RSS bounded
+# by the 25MiB chunk size.
+bench-corpus:
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_corpus.py
 
 # Full experiment benchmarks (slow; regenerates the paper's figures).
 bench:

@@ -123,6 +123,12 @@ def replay_with_scrubber(
 ) -> ReplayResult:
     """Replay ``trace`` with an optional scrubber.
 
+    ``trace`` may be an in-memory :class:`Trace` or a
+    :class:`~repro.traces.store.StoredTrace` — the latter streams
+    zero-copy from its memory-mapped chunk files, its header digest
+    feeds the result (and the baseline memo key) without re-hashing,
+    and only one chunk is resident at a time.
+
     Exactly one of ``scrubber`` (CFQ-scheduled, Fig. 7 style) and
     ``waiting`` (the Waiting scrubber; keys ``threshold`` and
     ``request_bytes``) may be given; neither replays the bare trace.

@@ -23,6 +23,35 @@ from repro.analysis.service_model import ScrubServiceModel
 from repro.core.adaptive import FixedSchedule, SizeSchedule
 
 
+class _SimMeter:
+    """Process-global simulation-effort meter.
+
+    The unit is *interval evaluations* — one idle interval pushed
+    through one Waiting simulation — which is the inner-loop work both
+    the exhaustive grid and the successive-halving search spend, so
+    their costs compare directly regardless of sample size.  Purely
+    additive bookkeeping (two integer adds per simulate call); workers
+    meter their own process, so cross-process totals must be summed by
+    the caller or measured serially.
+    """
+
+    __slots__ = ("sims", "interval_evals")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.sims = 0
+        self.interval_evals = 0
+
+    def snapshot(self) -> dict:
+        return {"sims": self.sims, "interval_evals": self.interval_evals}
+
+
+#: The meter every Waiting simulation reports to.
+SIM_METER = _SimMeter()
+
+
 @dataclass(frozen=True)
 class SlowdownResult:
     """Outcome of one Waiting-policy simulation."""
@@ -54,6 +83,8 @@ def simulate_fixed_waiting(
     """Vectorised simulation for a fixed request size."""
     durations = np.asarray(durations, dtype=float)
     _validate(threshold, total_requests, span)
+    SIM_METER.sims += 1
+    SIM_METER.interval_evals += len(durations)
     service = float(service_model.time(float(request_bytes)))
     usable = durations[durations > threshold] - threshold
 
@@ -91,6 +122,9 @@ def simulate_adaptive_waiting(
     """
     durations = np.asarray(durations, dtype=float)
     _validate(threshold, total_requests, span)
+    if not isinstance(schedule, FixedSchedule):
+        SIM_METER.sims += 1
+        SIM_METER.interval_evals += len(durations)
     if isinstance(schedule, FixedSchedule):
         return simulate_fixed_waiting(
             durations, threshold, schedule.size, service_model,

@@ -72,7 +72,9 @@ def _drive_spec(name: str):
     return PRESETS[name]()
 
 
-def _add_trace_source(parser: argparse.ArgumentParser) -> None:
+def _add_trace_source(
+    parser: argparse.ArgumentParser, corpus: bool = False
+) -> None:
     source = parser.add_mutually_exclusive_group(required=True)
     source.add_argument("--trace", help="CSV trace file (canonical or MSR dialect)")
     source.add_argument(
@@ -80,6 +82,13 @@ def _add_trace_source(parser: argparse.ArgumentParser) -> None:
         metavar="NAME",
         help="synthetic catalog trace (e.g. MSRsrc11; see `repro generate --list`)",
     )
+    if corpus:
+        source.add_argument(
+            "--corpus",
+            metavar="DIR",
+            help="on-disk trace corpus directory (built with "
+            "`repro corpus build` or repro.traces.generate_corpus)",
+        )
     parser.add_argument(
         "--duration", type=float, default=4 * 3600.0,
         help="synthetic trace length in seconds (default 4h)",
@@ -164,12 +173,201 @@ def _build_runner(args, telemetry=None):
     return SweepRunner(workers=args.workers, cache=cache, telemetry=telemetry)
 
 
+def cmd_corpus_build(args) -> int:
+    from repro.traces.catalog import generate_corpus
+    from repro.traces.store import TraceStoreError
+
+    try:
+        corpus = generate_corpus(
+            args.out,
+            names=args.names,
+            duration=args.duration,
+            seed=args.seed,
+            repetitions=args.repetitions,
+            chunk_requests=args.chunk_requests,
+        )
+    except (TraceStoreError, KeyError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(f"built corpus at {corpus.root} ({len(corpus)} entries)")
+    for name in corpus.names():
+        row = corpus.describe(name)
+        print(
+            f"  {name:<12} {row['requests']:>12,} requests  "
+            f"{row['duration'] / 3600:8.2f} h  {row['chunks']} chunks"
+        )
+    return 0
+
+
+def cmd_corpus_list(args) -> int:
+    from repro.traces.store import TraceCorpus, TraceStoreError
+
+    try:
+        corpus = TraceCorpus.open(args.dir)
+    except TraceStoreError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(f"{'entry':<12} {'requests':>12}  {'hours':>8}  {'chunks':>6}  digest")
+    for name in corpus.names():
+        row = corpus.describe(name)
+        print(
+            f"{name:<12} {row['requests']:>12,}  "
+            f"{row['duration'] / 3600:8.2f}  {row['chunks']:>6}  "
+            f"{row['digest'][:12]}"
+        )
+    return 0
+
+
+def cmd_corpus_verify(args) -> int:
+    from repro.traces.store import (
+        StoreIntegrityError,
+        TraceCorpus,
+        TraceStoreError,
+    )
+
+    try:
+        corpus = TraceCorpus.open(args.dir)
+    except TraceStoreError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    failures = 0
+    for name in corpus.names():
+        try:
+            corpus.entry(name).verify()
+        except (StoreIntegrityError, TraceStoreError, OSError) as exc:
+            failures += 1
+            print(f"{name:<12} FAILED: {exc}", file=sys.stderr)
+            continue
+        print(f"{name:<12} ok")
+    return 1 if failures else 0
+
+
+def _tune_one(args, durations, total_requests, span, model, goal, runner):
+    """One (workload, goal) tuning by the selected method."""
+    from repro.core.optimizer import ScrubParameterOptimizer
+    from repro.core.search import SuccessiveHalvingSearch
+
+    if args.method == "grid":
+        return ScrubParameterOptimizer(
+            durations, total_requests, span, model,
+            max_slowdown=args.max_slowdown_ms / 1e3,
+        ).optimize(goal, runner=runner)
+    return SuccessiveHalvingSearch(
+        durations, total_requests, span, model,
+        max_slowdown=args.max_slowdown_ms / 1e3,
+        seed=args.search_seed,
+        keep_min=args.budget,
+    ).search(goal, runner=runner).best
+
+
+def _optimize_corpus(args) -> int:
+    """Corpus-wide tuning table: one (threshold, size) row per entry."""
+    import json
+
+    from repro.analysis.service_model import ScrubServiceModel
+    from repro.analysis.slowdown import SIM_METER
+    from repro.traces.idle import idle_intervals_streaming
+    from repro.traces.store import TraceCorpus, TraceStoreError
+
+    try:
+        corpus = TraceCorpus.open(args.corpus)
+    except TraceStoreError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    names = args.entries or corpus.names()
+    for name in names:
+        if name not in corpus:
+            print(
+                f"unknown corpus entry {name!r}; available: "
+                f"{', '.join(corpus.names())}",
+                file=sys.stderr,
+            )
+            return 2
+    spec = _drive_spec(args.drive)
+    if not args.json:
+        print(f"measuring scrub service times on {spec.name}...")
+    model = ScrubServiceModel.from_spec(spec, kernel=args.kernel)
+    runner = _build_runner(args)
+    payload = {
+        "corpus": str(corpus.root),
+        "drive": args.drive,
+        "method": args.method,
+        "budget": args.budget,
+        "goals_ms": list(args.goals_ms),
+        "entries": {},
+    }
+    if not args.json:
+        print(
+            f"{'entry':<12} {'goal':>8}  {'threshold':>10}  {'request':>8}  "
+            f"{'scrub':>10}"
+        )
+    for name in names:
+        stored = corpus.entry(name)
+        row = corpus.describe(name)
+        positioning = row.get("service_positioning", args.service_ms / 1e3)
+        _, durations = idle_intervals_streaming(
+            stored.iter_chunks(), positioning=positioning
+        )
+        entry_out = {
+            "digest": stored.digest(),
+            "requests": len(stored),
+            "idle_intervals": int(len(durations)),
+            "goals": {},
+        }
+        payload["entries"][name] = entry_out
+        if len(durations) == 0:
+            if not args.json:
+                print(f"{name:<12} no idle intervals")
+            continue
+        for goal_ms in args.goals_ms:
+            before = SIM_METER.snapshot()
+            try:
+                best = _tune_one(
+                    args, durations, len(stored), stored.duration, model,
+                    goal_ms / 1e3, runner,
+                )
+            except ValueError:
+                if not args.json:
+                    print(f"{name:<12} {goal_ms:6.2f}ms  unattainable")
+                entry_out["goals"][f"{goal_ms:g}"] = None
+                continue
+            after = SIM_METER.snapshot()
+            entry_out["goals"][f"{goal_ms:g}"] = {
+                "threshold_ms": best.threshold * 1e3,
+                "request_kb": best.request_bytes // 1024,
+                "throughput_mbps": best.throughput_mbps,
+                "achieved_slowdown_ms": best.achieved_slowdown * 1e3,
+                "interval_evals": (
+                    after["interval_evals"] - before["interval_evals"]
+                ),
+                "sims": after["sims"] - before["sims"],
+            }
+            if not args.json:
+                print(
+                    f"{name:<12} {goal_ms:6.2f}ms  "
+                    f"{best.threshold * 1e3:8.1f}ms  "
+                    f"{best.request_bytes // 1024:6d}KB  "
+                    f"{best.throughput_mbps:8.2f}MB/s"
+                )
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif runner is not None and runner.cache is not None:
+        print(
+            f"sweep cache: {runner.cache.hits} hits, "
+            f"{runner.cache.misses} misses ({runner.cache.root})"
+        )
+    return 0
+
+
 def cmd_optimize(args) -> int:
     from repro.analysis.service_model import ScrubServiceModel
     from repro.analysis.slowdown import simulate_fixed_waiting
-    from repro.core.optimizer import ScrubParameterOptimizer
     from repro.traces.idle import idle_intervals_from_trace
 
+    if args.budget < 1:
+        raise SystemExit(f"--budget must be >= 1: {args.budget}")
+    if getattr(args, "corpus", None):
+        return _optimize_corpus(args)
     trace = _load_trace(args)
     _, durations = idle_intervals_from_trace(
         trace, positioning=args.service_ms / 1e3
@@ -180,10 +378,6 @@ def cmd_optimize(args) -> int:
     spec = _drive_spec(args.drive)
     print(f"measuring scrub service times on {spec.name}...")
     model = ScrubServiceModel.from_spec(spec, kernel=args.kernel)
-    optimizer = ScrubParameterOptimizer(
-        durations, len(trace), trace.duration, model,
-        max_slowdown=args.max_slowdown_ms / 1e3,
-    )
     recorder = None
     if args.telemetry:
         from repro.telemetry import Recorder
@@ -193,7 +387,10 @@ def cmd_optimize(args) -> int:
     print(f"{'goal':>8}  {'threshold':>10}  {'request':>8}  {'scrub':>10}")
     for goal_ms in args.goals_ms:
         try:
-            best = optimizer.optimize(goal_ms / 1e3, runner=runner)
+            best = _tune_one(
+                args, durations, len(trace), trace.duration, model,
+                goal_ms / 1e3, runner,
+            )
         except ValueError:
             print(f"{goal_ms:6.2f}ms  unattainable on this workload")
             continue
@@ -907,6 +1104,40 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--list", action="store_true", help="list catalog entries")
     generate.set_defaults(func=cmd_generate)
 
+    corpus = sub.add_parser(
+        "corpus", help="build / inspect an on-disk trace corpus"
+    )
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+    corpus_build = corpus_sub.add_parser(
+        "build", help="generate catalog traces into a columnar corpus"
+    )
+    corpus_build.add_argument("--out", "-o", required=True, metavar="DIR")
+    corpus_build.add_argument(
+        "--names", nargs="+", default=None, metavar="NAME",
+        help="catalog entries to include (default: all)",
+    )
+    corpus_build.add_argument("--duration", type=float, default=None)
+    corpus_build.add_argument("--seed", type=int, default=0)
+    corpus_build.add_argument(
+        "--repetitions", type=int, default=1,
+        help="tile each trace N times end-to-end (multi-GB corpora)",
+    )
+    corpus_build.add_argument(
+        "--chunk-requests", type=int, default=None,
+        help="requests per on-disk chunk (default 1Mi = 25MiB chunks)",
+    )
+    corpus_build.set_defaults(func=cmd_corpus_build)
+    corpus_list = corpus_sub.add_parser(
+        "list", help="list a corpus's entries"
+    )
+    corpus_list.add_argument("dir", metavar="DIR")
+    corpus_list.set_defaults(func=cmd_corpus_list)
+    corpus_verify = corpus_sub.add_parser(
+        "verify", help="re-hash every chunk of every entry"
+    )
+    corpus_verify.add_argument("dir", metavar="DIR")
+    corpus_verify.set_defaults(func=cmd_corpus_verify)
+
     analyze = sub.add_parser("analyze", help="workload statistics (Section V-A)")
     _add_trace_source(analyze)
     analyze.add_argument(
@@ -918,7 +1149,7 @@ def build_parser() -> argparse.ArgumentParser:
     optimize = sub.add_parser(
         "optimize", help="optimal (threshold, size) per slowdown goal"
     )
-    _add_trace_source(optimize)
+    _add_trace_source(optimize, corpus=True)
     optimize.add_argument(
         "--service-ms", type=float, default=4.0,
         help="nominal per-request positioning time for idle extraction",
@@ -928,6 +1159,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--goals-ms", type=float, nargs="+", default=[1.0, 2.0, 4.0]
     )
     optimize.add_argument("--max-slowdown-ms", type=float, default=50.4)
+    optimize.add_argument(
+        "--method", choices=("search", "grid"), default="search",
+        help="tuning method: successive-halving search (default) or the "
+        "exhaustive per-size grid",
+    )
+    optimize.add_argument(
+        "--budget", type=int, default=3, metavar="N",
+        help="search budget: arms kept through the final full-horizon "
+        "rung (higher = closer to the exhaustive grid; default 3)",
+    )
+    optimize.add_argument(
+        "--search-seed", type=int, default=0,
+        help="seed for the search's rung subsampling (same seed = "
+        "bit-identical run)",
+    )
+    optimize.add_argument(
+        "--entries", nargs="+", metavar="NAME", default=None,
+        help="with --corpus: tune only these catalog entries",
+    )
+    optimize.add_argument(
+        "--json", action="store_true",
+        help="with --corpus: emit the tuning table as sorted-key JSON",
+    )
     optimize.add_argument(
         "--workers", type=int, default=0,
         help="worker processes for the size sweep (0 = in-process serial)",

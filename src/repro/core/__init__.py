@@ -24,6 +24,10 @@
 from repro.core.autotune import AutoTuner
 from repro.core.manager import ScrubManager
 from repro.core.scrubber import ScrubAlgorithm, Scrubber
+from repro.core.search import (
+    SearchOutcome,
+    SuccessiveHalvingSearch,
+)
 from repro.core.sequential import SequentialScrub
 from repro.core.staggered import StaggeredScrub
 
@@ -32,6 +36,8 @@ __all__ = [
     "ScrubAlgorithm",
     "ScrubManager",
     "Scrubber",
+    "SearchOutcome",
     "SequentialScrub",
     "StaggeredScrub",
+    "SuccessiveHalvingSearch",
 ]

@@ -44,6 +44,14 @@ class AutoTuner:
         Length of the sliding observation window (seconds).
     min_samples:
         Idle intervals required before a retune is attempted.
+    method:
+        ``"grid"`` (default) re-runs the exhaustive optimiser;
+        ``"search"`` uses the successive-halving tuner
+        (:class:`~repro.core.search.SuccessiveHalvingSearch`) — the
+        right choice when the observation window holds many intervals
+        and retunes are frequent.
+    search_seed:
+        Root seed for the ``"search"`` method's rung subsamples.
     """
 
     def __init__(
@@ -56,6 +64,8 @@ class AutoTuner:
         window: float = 3600.0,
         min_samples: int = 200,
         runner=None,
+        method: str = "grid",
+        search_seed: int = 0,
     ) -> None:
         if slowdown_goal <= 0:
             raise ValueError(f"slowdown_goal must be positive: {slowdown_goal}")
@@ -63,6 +73,10 @@ class AutoTuner:
             raise ValueError("retune_interval and window must be positive")
         if min_samples < 2:
             raise ValueError(f"min_samples must be >= 2: {min_samples}")
+        if method not in ("grid", "search"):
+            raise ValueError(f"method must be 'grid' or 'search': {method!r}")
+        self.method = method
+        self.search_seed = search_seed
         self.sim = sim
         self.scrubber = scrubber
         self.service_model = service_model
@@ -144,14 +158,25 @@ class AutoTuner:
             return None
         durations = np.array([d for _, d in self._idle])
         span = min(self.window, now) or self.window
-        optimizer = ScrubParameterOptimizer(
-            durations,
-            total_requests=len(self._request_times),
-            span=span,
-            service_model=self.service_model,
-        )
         try:
-            best = optimizer.optimize(self.slowdown_goal, runner=self.runner)
+            if self.method == "search":
+                from repro.core.search import SuccessiveHalvingSearch
+
+                best = SuccessiveHalvingSearch(
+                    durations,
+                    total_requests=len(self._request_times),
+                    span=span,
+                    service_model=self.service_model,
+                    seed=self.search_seed,
+                ).search(self.slowdown_goal, runner=self.runner).best
+            else:
+                optimizer = ScrubParameterOptimizer(
+                    durations,
+                    total_requests=len(self._request_times),
+                    span=span,
+                    service_model=self.service_model,
+                )
+                best = optimizer.optimize(self.slowdown_goal, runner=self.runner)
         except ValueError:
             return None  # goal unattainable on this window: keep settings
         self.scrubber.threshold = best.threshold

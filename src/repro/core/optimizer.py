@@ -153,7 +153,10 @@ class ScrubParameterOptimizer:
 
     # -- the headline call ----------------------------------------------------------
     def optimize(
-        self, slowdown_goal: float, runner: Optional["SweepRunner"] = None
+        self,
+        slowdown_goal: float,
+        runner: Optional["SweepRunner"] = None,
+        prune: bool = True,
     ) -> OptimalParameters:
         """Maximise scrub throughput subject to the mean-slowdown goal.
 
@@ -162,7 +165,11 @@ class ScrubParameterOptimizer:
         serially, sizes are explored best-upper-bound first and any
         size whose threshold-0 throughput (its ceiling — throughput is
         non-increasing in the threshold) cannot beat the incumbent is
-        pruned without a search.
+        pruned without a search.  ``prune=False`` disables the
+        domination skip, making the serial path the true exhaustive
+        grid — what the successive-halving benchmark and differential
+        check compare against.  Pruning is exact (the ceiling argument
+        above), so both settings return identical parameters.
         """
         if runner is not None:
             return self._optimize_with_runner(slowdown_goal, runner)
@@ -172,7 +179,11 @@ class ScrubParameterOptimizer:
         ceiling = {size: self.simulate(0.0, size) for size in sizes}
         ranked = sorted(sizes, key=lambda s: ceiling[s].throughput, reverse=True)
         for size in ranked:
-            if best is not None and ceiling[size].throughput <= best.throughput:
+            if (
+                prune
+                and best is not None
+                and ceiling[size].throughput <= best.throughput
+            ):
                 continue  # dominated: cannot beat the incumbent at any threshold
             result = self.best_threshold(
                 size, slowdown_goal, at_zero=ceiling[size]

@@ -1,0 +1,342 @@
+"""Successive-halving search for Waiting-policy parameters.
+
+The Table III tuning question — which (request size, wait threshold)
+pair maximises scrub throughput under a mean-slowdown goal — is an
+optimisation over ~64 candidate sizes, each needing a threshold
+bisection of ~40 full-trace simulations.  The exhaustive grid spends
+that effort uniformly; at corpus scale almost all of it goes to sizes
+that a glance at a small idle-interval subsample already rules out.
+
+:class:`SuccessiveHalvingSearch` spends simulation effort where the
+optimum might be instead:
+
+* **Rungs of increasing trace-horizon budget.**  Rung ``r`` evaluates
+  the surviving sizes on a seeded stratified subsample of the idle
+  durations (default fractions 1/64, 1/16, 1/4 of the full sample)
+  with a short bisection, scores each size by its achieved scrub
+  throughput, and keeps the top ``1/eta``.
+* **Seeded rung assignment.**  Subsamples come from
+  ``numpy.random.default_rng([seed, rung])``, so a search is a pure
+  function of ``(inputs, seed)`` — reruns are bit-identical.
+* **Deterministic tie-breaking.**  Ranking sorts by (throughput
+  descending, size ascending); infeasible sizes rank last.
+* **Exact final rung.**  The survivors get the grid's own
+  full-sample 40-iteration search — literally the same
+  :func:`~repro.core.optimizer._best_threshold_task` with the same
+  task parameters — so the chosen parameters are exact, and when both
+  the grid and the search run (e.g. the differential check), the final
+  rung is served from the :class:`~repro.parallel.cache.ResultCache`.
+
+Cost: with defaults, ≈220–340 interval-evaluations per idle interval
+against the exhaustive grid's ≈2700 — an 8–12x reduction on the
+seeded catalog suite, measured by
+:data:`repro.analysis.slowdown.SIM_METER` and gated (≥5x per
+workload) by ``make bench-corpus``.  The safety contract is
+:func:`repro.verify.search.check_search_vs_grid`: on the seeded suite
+the searched optimum's throughput must be within a documented
+tolerance (default 1%) of the exhaustive grid's, with the slowdown
+goal still met exactly (the final rung simulates on the full sample).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.service_model import ScrubServiceModel
+from repro.analysis.slowdown import SIM_METER
+from repro.core.optimizer import (
+    DEFAULT_MAX_SLOWDOWN,
+    OptimalParameters,
+    ScrubParameterOptimizer,
+    _best_threshold_task,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.parallel import SweepRunner
+
+#: Subsample fractions for the elimination rungs (final rung is always
+#: the full sample).
+DEFAULT_RUNG_FRACTIONS = (1 / 64, 1 / 16, 1 / 4)
+
+#: Never subsample below this many idle intervals.  Because the rung
+#: subsample is stratified over the duration-sorted order (every
+#: quantile represented in proportion — see :meth:`_rung_sample`), a
+#: modest floor suffices: 512 stratified intervals rank the true
+#: optimum into the survivor set on every seeded catalog workload.
+MIN_RUNG_SAMPLE = 512
+
+
+@dataclass(frozen=True)
+class RungReport:
+    """What one elimination rung did (for reports and benchmarks)."""
+
+    index: int
+    sample: int
+    iterations: int
+    arms: Tuple[int, ...]
+    survivors: Tuple[int, ...]
+    sims: int
+    interval_evals: int
+
+
+@dataclass(frozen=True)
+class SearchOutcome:
+    """Search result plus its effort accounting.
+
+    ``sims``/``interval_evals`` are :data:`SIM_METER` deltas observed
+    in *this* process — exact for serial searches; with a runner the
+    final rung's work happens in workers (or not at all, on cache
+    hits) and is not included.
+    """
+
+    best: OptimalParameters
+    seed: int
+    rungs: Tuple[RungReport, ...]
+    sims: int
+    interval_evals: int
+
+
+class SuccessiveHalvingSearch:
+    """Budgeted replacement for the exhaustive Table III grid.
+
+    Constructor parameters mirror
+    :class:`~repro.core.optimizer.ScrubParameterOptimizer` (same idle
+    sample, same candidate sizes, same admissibility cap), plus the
+    search schedule:
+
+    Parameters
+    ----------
+    seed:
+        Root seed for the rung subsamples; the search is a pure
+        function of its inputs and this seed.
+    rung_fractions:
+        Increasing idle-sample fractions for the elimination rungs.
+    eta:
+        Keep the top ``1/eta`` of arms per rung.
+    keep_min:
+        Never eliminate below this many arms before the final rung —
+        the safety margin that lets a subsample mis-rank the true
+        optimum without losing it.
+    rung_iterations:
+        Bisection iterations at elimination rungs (the final rung uses
+        ``final_iterations``, the grid's default).  This must stay
+        deep enough to resolve the threshold: a coarse bisection
+        leaves an overshoot proportional to ``max_duration * 2**-k``
+        that systematically penalises threshold-sensitive large sizes
+        and mis-ranks them out of the survivor set.  20 iterations
+        resolve the threshold to ~1e-6 of the longest idle interval,
+        which keeps every seeded catalog workload within tolerance.
+    """
+
+    def __init__(
+        self,
+        durations: np.ndarray,
+        total_requests: int,
+        span: float,
+        service_model: ScrubServiceModel,
+        sizes: Optional[Sequence[int]] = None,
+        max_slowdown: float = DEFAULT_MAX_SLOWDOWN,
+        seed: int = 0,
+        rung_fractions: Sequence[float] = DEFAULT_RUNG_FRACTIONS,
+        eta: int = 3,
+        keep_min: int = 3,
+        rung_iterations: int = 20,
+        final_iterations: int = 40,
+        min_sample: int = MIN_RUNG_SAMPLE,
+    ) -> None:
+        self._full = ScrubParameterOptimizer(
+            durations, total_requests, span, service_model,
+            sizes=sizes, max_slowdown=max_slowdown,
+        )
+        if eta < 2:
+            raise ValueError(f"eta must be >= 2: {eta}")
+        if keep_min < 1:
+            raise ValueError(f"keep_min must be >= 1: {keep_min}")
+        if rung_iterations < 1 or final_iterations < 1:
+            raise ValueError("iteration counts must be >= 1")
+        fractions = tuple(float(f) for f in rung_fractions)
+        if any(not 0.0 < f <= 1.0 for f in fractions) or (
+            list(fractions) != sorted(fractions)
+        ):
+            raise ValueError(
+                f"rung_fractions must be increasing in (0, 1]: {fractions}"
+            )
+        self.seed = int(seed)
+        self.rung_fractions = fractions
+        self.eta = eta
+        self.keep_min = keep_min
+        self.rung_iterations = rung_iterations
+        self.final_iterations = final_iterations
+        self.min_sample = min_sample
+
+    # -- rungs -------------------------------------------------------------------
+    def _rung_sample(self, rung: int, fraction: float) -> np.ndarray:
+        """The seeded idle-duration subsample for one rung.
+
+        Stratified, not uniform: indices stride the *duration-sorted*
+        sample at a seeded offset, so every quantile of the idle
+        distribution — the long tail above all — is represented in
+        proportion.  An arm's throughput is an integral over that
+        distribution (large request sizes live almost entirely in the
+        few longest intervals), so a uniform draw that misses a couple
+        of tail intervals mis-ranks big arms wholesale; a stratified
+        draw cannot.  The seed only moves the stride offset, keeping
+        reruns bit-identical and distinct seeds honestly different.
+        """
+        durations = self._full.durations
+        n = len(durations)
+        m = min(n, max(self.min_sample, math.ceil(n * fraction)))
+        if m >= n:
+            return durations
+        order = np.argsort(durations, kind="stable")
+        rng = np.random.default_rng([self.seed, rung])
+        # m evenly spaced positions in [0, n), phase-shifted by the
+        # seed; floor keeps every position in range.
+        offset = float(rng.random())
+        positions = ((np.arange(m) + offset) * (n / m)).astype(np.intp)
+        indices = order[positions]
+        indices.sort()  # original time order: stable float summation
+        return durations[indices]
+
+    def _run_rung(
+        self,
+        rung: int,
+        fraction: float,
+        arms: Sequence[int],
+        slowdown_goal: float,
+    ) -> RungReport:
+        sample = self._rung_sample(rung, fraction)
+        full = self._full
+        scale = len(sample) / len(full.durations)
+        rung_opt = ScrubParameterOptimizer(
+            sample,
+            total_requests=max(1, round(full.total_requests * scale)),
+            span=full.span * scale,
+            service_model=full.service_model,
+            sizes=arms,
+            max_slowdown=full.max_slowdown,
+        )
+        before = SIM_METER.snapshot()
+        scores: Dict[int, float] = {}
+        for size in arms:
+            result = rung_opt.best_threshold(
+                size, slowdown_goal, iterations=self.rung_iterations
+            )
+            scores[size] = -math.inf if result is None else result.throughput
+        after = SIM_METER.snapshot()
+        ranked = sorted(arms, key=lambda s: (-scores[s], s))
+        if len(set(scores.values())) <= 1:
+            # The rung produced no signal (e.g. an extreme goal drives
+            # every arm's subsample throughput to the same value):
+            # eliminating on the tie-break alone would be arbitrary, so
+            # keep every arm and let a bigger budget discriminate.
+            keep = len(arms)
+        else:
+            keep = min(
+                len(arms), max(self.keep_min, math.ceil(len(arms) / self.eta))
+            )
+        return RungReport(
+            index=rung,
+            sample=len(sample),
+            iterations=self.rung_iterations,
+            arms=tuple(arms),
+            survivors=tuple(sorted(ranked[:keep])),
+            sims=after["sims"] - before["sims"],
+            interval_evals=after["interval_evals"] - before["interval_evals"],
+        )
+
+    # -- the headline call -------------------------------------------------------
+    def search(
+        self, slowdown_goal: float, runner: Optional["SweepRunner"] = None
+    ) -> SearchOutcome:
+        """Maximise scrub throughput subject to the mean-slowdown goal.
+
+        Same contract as
+        :meth:`~repro.core.optimizer.ScrubParameterOptimizer.optimize`
+        (raises :class:`ValueError` when no size can meet the goal),
+        but spends a fraction of its simulation budget.  With a
+        ``runner`` the final rung fans out — and cache-shares — the
+        grid's own per-size tasks.
+        """
+        start = SIM_METER.snapshot()
+        arms = list(self._full.admissible_sizes())
+        rungs = []
+        for rung, fraction in enumerate(self.rung_fractions):
+            if len(arms) <= self.keep_min:
+                break
+            report = self._run_rung(rung, fraction, arms, slowdown_goal)
+            rungs.append(report)
+            arms = list(report.survivors)
+        best = self._final_rung(arms, slowdown_goal, runner)
+        end = SIM_METER.snapshot()
+        return SearchOutcome(
+            best=best,
+            seed=self.seed,
+            rungs=tuple(rungs),
+            sims=end["sims"] - start["sims"],
+            interval_evals=end["interval_evals"] - start["interval_evals"],
+        )
+
+    def _final_rung(
+        self,
+        arms: Sequence[int],
+        slowdown_goal: float,
+        runner: Optional["SweepRunner"],
+    ) -> OptimalParameters:
+        """Exact full-sample search over the surviving arms.
+
+        The task parameters are built exactly as
+        :meth:`ScrubParameterOptimizer._optimize_with_runner` builds
+        them, so the :class:`~repro.parallel.cache.ResultCache` key of
+        each survivor's search coincides with the grid's — running the
+        grid then the search (or vice versa) pays for the overlap once.
+        """
+        full = self._full
+        tasks = []
+        for size in sorted(arms):
+            task = dict(
+                durations=full.durations,
+                total_requests=full.total_requests,
+                span=full.span,
+                service_model=full.service_model,
+                request_bytes=size,
+                slowdown_goal=slowdown_goal,
+                max_slowdown=full.max_slowdown,
+            )
+            if self.final_iterations != 40:  # non-default: must key the cache
+                task["iterations"] = self.final_iterations
+            tasks.append(task)
+        if runner is not None:
+            results = runner.map(_best_threshold_task, tasks)
+        else:
+            results = [_best_threshold_task(**task) for task in tasks]
+        best: Optional[OptimalParameters] = None
+        for task, result in zip(tasks, results):
+            if result is None:
+                continue
+            candidate = OptimalParameters(
+                slowdown_goal=slowdown_goal,
+                threshold=result.threshold,
+                request_bytes=task["request_bytes"],
+                throughput=result.throughput,
+                achieved_slowdown=result.mean_slowdown,
+            )
+            if (
+                best is None
+                or candidate.throughput > best.throughput
+                or (
+                    candidate.throughput == best.throughput
+                    and candidate.request_bytes < best.request_bytes
+                )
+            ):
+                best = candidate
+        if best is None:
+            raise ValueError(
+                f"no parameters meet slowdown goal {slowdown_goal}s "
+                "for this workload"
+            )
+        return best

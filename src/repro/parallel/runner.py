@@ -88,11 +88,16 @@ def _call(fn: Callable, kwargs: dict) -> Any:
     """Top-level trampoline (must be picklable for the process pool).
 
     Resolves any :class:`TraceHandle` values back into zero-copy
-    :class:`Trace` views before calling the task, and unmaps the
-    attachments afterwards (tolerating results that pin the buffers —
-    see :mod:`repro.traces.shm`).
+    :class:`Trace` views, and any
+    :class:`~repro.traces.store.StoredTraceRef` into an opened
+    :class:`~repro.traces.store.StoredTrace` (the file page cache is
+    the shared memory there — workers map the same chunk pages), before
+    calling the task; shm attachments are unmapped afterwards
+    (tolerating results that pin the buffers — see
+    :mod:`repro.traces.shm`).
     """
     from repro.traces.shm import TraceArrays, TraceHandle
+    from repro.traces.store import StoredTraceRef
 
     attachments = []
     resolved = kwargs
@@ -104,6 +109,10 @@ def _call(fn: Callable, kwargs: dict) -> Any:
                 if resolved is kwargs:
                     resolved = dict(kwargs)
                 resolved[key] = arrays.as_trace()
+            elif isinstance(value, StoredTraceRef):
+                if resolved is kwargs:
+                    resolved = dict(kwargs)
+                resolved[key] = value.open()
         return fn(**resolved)
     finally:
         del resolved
@@ -188,8 +197,9 @@ class SweepRunner:
         """
         from repro.traces.record import Trace
         from repro.traces.shm import TraceArrays
+        from repro.traces.store import StoredTrace
 
-        handles = {}  # id(trace) -> TraceHandle
+        handles = {}  # id(trace) -> TraceHandle | StoredTraceRef
         substituted = []
         for index, key, params in pending:
             shipped = None
@@ -203,6 +213,13 @@ class SweepRunner:
                     if shipped is None:
                         shipped = dict(params)
                     shipped[name] = handle
+                elif isinstance(value, StoredTrace):
+                    # Already on disk: no segment to export — the tiny
+                    # picklable ref crosses the pool and workers mmap
+                    # the same chunk files (page cache is the sharing).
+                    if shipped is None:
+                        shipped = dict(params)
+                    shipped[name] = value.ref()
             substituted.append((index, key, shipped if shipped is not None else params))
         return substituted
 

@@ -17,8 +17,13 @@ are not redistributable, so this package provides:
 * :mod:`repro.traces.idle` — idle-interval extraction.
 """
 
-from repro.traces.catalog import CATALOG, TraceSpec, generate_trace
-from repro.traces.idle import idle_intervals
+from repro.traces.catalog import (
+    CATALOG,
+    TraceSpec,
+    generate_corpus,
+    generate_trace,
+)
+from repro.traces.idle import idle_intervals, idle_intervals_streaming
 from repro.traces.io import (
     TraceFormatError,
     iter_trace_chunks,
@@ -27,20 +32,35 @@ from repro.traces.io import (
 )
 from repro.traces.record import Trace, TraceRecord
 from repro.traces.shm import TraceArrays, TraceHandle
+from repro.traces.store import (
+    StoredTrace,
+    StoredTraceRef,
+    StoreIntegrityError,
+    TraceCorpus,
+    TraceStoreError,
+    write_trace,
+)
 from repro.traces.synth import SyntheticTraceGenerator, TraceProfile
 
 __all__ = [
     "CATALOG",
+    "StoreIntegrityError",
+    "StoredTrace",
+    "StoredTraceRef",
     "SyntheticTraceGenerator",
     "Trace",
     "TraceArrays",
+    "TraceCorpus",
     "TraceFormatError",
     "TraceHandle",
     "TraceProfile",
     "TraceRecord",
     "TraceSpec",
+    "TraceStoreError",
+    "generate_corpus",
     "generate_trace",
     "idle_intervals",
+    "idle_intervals_streaming",
     "iter_trace_chunks",
     "read_csv_trace",
     "write_csv_trace",

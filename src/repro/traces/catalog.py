@@ -216,6 +216,90 @@ def generate_trace(
     return SyntheticTraceGenerator(profile, rng).generate()
 
 
+def generate_corpus(
+    directory,
+    names=None,
+    duration: Optional[float] = None,
+    seed: int = 0,
+    rate_scale: float = 1.0,
+    repetitions: int = 1,
+    chunk_requests: Optional[int] = None,
+):
+    """Build an on-disk trace corpus from catalog entries.
+
+    One store per entry (see :class:`repro.traces.store.TraceCorpus`),
+    each generated with :func:`generate_trace` under the shared
+    ``seed`` so the whole corpus is a pure function of
+    ``(names, duration, seed, rate_scale, repetitions)``.
+
+    ``repetitions`` tiles the generated day end-to-end (each copy's
+    times offset past the previous copy's span) to reach multi-GB
+    corpus sizes without ever materialising more than one repetition:
+    the copies stream into the store writer as chunks.  Returns the
+    opened :class:`~repro.traces.store.TraceCorpus`.
+    """
+    from repro.traces.store import DEFAULT_CHUNK_REQUESTS, TraceCorpus
+
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1: {repetitions}")
+    if names is None:
+        names = sorted(CATALOG)
+    unknown = [n for n in names if n not in CATALOG]
+    if unknown:
+        raise KeyError(
+            f"unknown trace(s) {unknown}; available: {sorted(CATALOG)}"
+        )
+    corpus = TraceCorpus.create(directory)
+    for name in names:
+        base = generate_trace(
+            name, duration=duration, seed=seed, rate_scale=rate_scale
+        )
+        corpus.add(
+            name,
+            _tiled_chunks(base, repetitions),
+            chunk_requests=(
+                DEFAULT_CHUNK_REQUESTS if chunk_requests is None
+                else chunk_requests
+            ),
+            extra={
+                "spec": name,
+                "seed": seed,
+                "duration_arg": duration,
+                "rate_scale": rate_scale,
+                "repetitions": repetitions,
+                "service_positioning": CATALOG[name].service_positioning,
+            },
+        )
+    return corpus
+
+
+def _tiled_chunks(base: Trace, repetitions: int):
+    """Yield ``repetitions`` time-shifted copies of ``base`` as chunks."""
+    if len(base) == 0:
+        yield base
+        return
+    # Period covers the base span plus one mean inter-arrival, so the
+    # seam gap looks like an ordinary arrival gap, not a cliff.
+    span = float(base.times[-1] - base.times[0])
+    period = span + max(
+        (span / max(len(base) - 1, 1)), 1e-6
+    )
+    for i in range(repetitions):
+        if i == 0:
+            yield base
+        else:
+            yield Trace(
+                base.times + i * period,
+                base.lbns,
+                base.sectors,
+                base.is_write,
+                name=base.name,
+                description=base.description,
+                capacity_sectors=base.capacity_sectors,
+                validate=False,
+            )
+
+
 def trace_idle_intervals(name: str, trace: Trace, min_duration: float = 0.0):
     """Idle intervals of ``trace`` under catalog entry ``name``'s service model.
 

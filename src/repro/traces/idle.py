@@ -83,6 +83,58 @@ def idle_intervals(
     return starts[mask], durations[mask]
 
 
+def idle_intervals_streaming(
+    chunks,
+    positioning: float = DEFAULT_POSITIONING,
+    transfer_rate: float = DEFAULT_TRANSFER_RATE,
+    min_duration: float = 0.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Idle intervals from a stream of time-ordered trace chunks.
+
+    Accepts any iterable of :class:`Trace` chunks (in particular a
+    :class:`~repro.traces.store.StoredTrace`), holding only one chunk's
+    columns plus the O(intervals) output resident.  The busy recurrence
+    carries across chunk boundaries: with ``B`` the busy-until time of
+    the previous chunk's last request, the closed form becomes
+
+        busy_j = S_j + cummax(max(B, t_0), t_1 - S_0, ..., t_j - S_{j-1})
+
+    with ``S`` the chunk-local service prefix sum, and the boundary gap
+    ``t_0 - B`` is emitted like any other interval.  For a single chunk
+    this reduces bit-identically to :func:`idle_intervals`; across
+    chunks the values agree up to floating-point regrouping of the
+    service prefix (the store's uniform re-chunking makes the result
+    deterministic for a given chunk size).
+    """
+    floor = max(min_duration, 0.0)
+    starts_parts = []
+    durations_parts = []
+    busy_last: Optional[float] = None
+    for chunk in chunks:
+        times = np.asarray(chunk.times, dtype=float)
+        if len(times) == 0:
+            continue
+        service = service_times(chunk.sectors, positioning, transfer_rate)
+        prefix = np.cumsum(service)
+        prior = np.concatenate(([0.0], prefix[:-1]))
+        peaks = times - prior
+        if busy_last is not None:
+            gap = times[0] - busy_last
+            if gap > floor:
+                starts_parts.append(np.array([busy_last]))
+                durations_parts.append(np.array([gap]))
+            peaks[0] = max(peaks[0], busy_last)
+        busy = prefix + np.maximum.accumulate(peaks)
+        durations = times[1:] - busy[:-1]
+        mask = durations > floor
+        starts_parts.append(busy[:-1][mask])
+        durations_parts.append(durations[mask])
+        busy_last = float(busy[-1])
+    if not starts_parts:
+        return np.zeros(0), np.zeros(0)
+    return np.concatenate(starts_parts), np.concatenate(durations_parts)
+
+
 def idle_intervals_from_trace(
     trace: Trace,
     positioning: float = DEFAULT_POSITIONING,

@@ -15,6 +15,41 @@ from typing import Iterator, Optional
 
 import numpy as np
 
+#: Bytes hashed per ``update`` while streaming a column into a digest.
+#: Bounds the transient copy made for non-contiguous columns; contiguous
+#: columns are hashed through zero-copy memoryview slices.
+_DIGEST_BLOCK = 1 << 22
+
+
+def update_digest(h, column: np.ndarray) -> None:
+    """Feed one column into hash ``h`` exactly as :meth:`Trace.digest`.
+
+    Streams the column in :data:`_DIGEST_BLOCK`-byte slices instead of
+    one ``tobytes()`` call, so hashing a multi-GB memory-mapped column
+    never materialises a full copy — the digest value is identical
+    either way (same dtype tag, same bytes, same order).  Shared by
+    :meth:`Trace.digest` and the on-disk store
+    (:mod:`repro.traces.store`), which computes the same content digest
+    chunk-wise at write time so readers never re-hash.
+    """
+    h.update(str(column.dtype).encode())
+    update_digest_bytes(h, column)
+
+
+def update_digest_bytes(h, column: np.ndarray) -> None:
+    """Feed only the raw bytes of ``column`` into ``h`` (no dtype tag).
+
+    The store hashes one logical column that spans many chunk files:
+    the dtype tag goes in once, then each chunk's bytes stream through
+    here in file order — reproducing :func:`update_digest`'s byte
+    sequence for the concatenated column.
+    """
+    if not column.flags.c_contiguous:
+        column = np.ascontiguousarray(column)
+    view = memoryview(column).cast("B")
+    for start in range(0, len(view), _DIGEST_BLOCK):
+        h.update(view[start:start + _DIGEST_BLOCK])
+
 
 @dataclass(frozen=True)
 class TraceRecord:
@@ -98,12 +133,16 @@ class Trace:
         participates; the free-text ``name``/``description`` metadata
         does not.  The digest is computed once and memoised, so it must
         not be relied upon after mutating the column arrays in place.
+
+        Hashing streams each column in bounded blocks
+        (:func:`update_digest`), so digesting a memory-mapped multi-GB
+        trace stays O(block) resident instead of copying every column
+        through ``tobytes()``; the digest value is unchanged.
         """
         if self._digest is None:
             h = hashlib.sha256()
             for column in (self.times, self.lbns, self.sectors, self.is_write):
-                h.update(str(column.dtype).encode())
-                h.update(np.ascontiguousarray(column).tobytes())
+                update_digest(h, column)
             h.update(repr(self.capacity_sectors).encode())
             self._digest = h.hexdigest()
         return self._digest

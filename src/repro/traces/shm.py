@@ -48,13 +48,37 @@ import numpy as np
 from repro.traces.record import Trace
 
 #: Column layout: (attribute, dtype); the segment is these four arrays
-#: back to back, each ``itemsize * len(trace)`` bytes.
+#: back to back, each ``itemsize * len(trace)`` bytes.  The on-disk
+#: trace store (:mod:`repro.traces.store`) uses the same layout for its
+#: chunk files, so one buffer-view helper serves both.
 _COLUMNS = (
     ("times", np.dtype(np.float64)),
     ("lbns", np.dtype(np.int64)),
     ("sectors", np.dtype(np.int64)),
     ("is_write", np.dtype(np.bool_)),
 )
+
+
+def packed_nbytes(n: int) -> int:
+    """Size in bytes of ``n`` requests in the packed column layout."""
+    return sum(dtype.itemsize for _, dtype in _COLUMNS) * n
+
+
+def column_views(buf, n: int) -> dict:
+    """The four packed column arrays as zero-copy views into ``buf``.
+
+    ``buf`` is any buffer-protocol object (shared-memory segment, mmap
+    of a store chunk file) holding the :data:`_COLUMNS` layout for ``n``
+    requests.  Returns ``{attr: ndarray}`` views — no copies on any
+    path, which is what keeps a worker's attach (or a corpus chunk
+    open) O(1) in trace size.
+    """
+    columns = {}
+    offset = 0
+    for attr, dtype in _COLUMNS:
+        columns[attr] = np.ndarray(n, dtype=dtype, buffer=buf, offset=offset)
+        offset += dtype.itemsize * n
+    return columns
 
 
 @dataclass(frozen=True)
@@ -137,13 +161,10 @@ class TraceArrays:
     def from_trace(cls, trace: Trace) -> "TraceArrays":
         """Export ``trace`` into a fresh segment (one memcpy per column)."""
         n = len(trace)
-        total = sum(dtype.itemsize for _, dtype in _COLUMNS) * n
+        total = packed_nbytes(n)
         segment = shared_memory.SharedMemory(create=True, size=max(1, total))
-        offset = 0
-        for attr, dtype in _COLUMNS:
-            view = np.ndarray(n, dtype=dtype, buffer=segment.buf, offset=offset)
+        for attr, view in column_views(segment.buf, n).items():
             view[:] = getattr(trace, attr)
-            offset += dtype.itemsize * n
         handle = TraceHandle(
             shm_name=segment.name,
             length=n,
@@ -171,13 +192,7 @@ class TraceArrays:
             raise ValueError("trace arrays are closed")
         handle = self.handle
         n = handle.length
-        columns = {}
-        offset = 0
-        for attr, dtype in _COLUMNS:
-            columns[attr] = np.ndarray(
-                n, dtype=dtype, buffer=self._segment.buf, offset=offset
-            )
-            offset += dtype.itemsize * n
+        columns = column_views(self._segment.buf, n)
         trace = Trace(
             columns["times"],
             columns["lbns"],

@@ -47,6 +47,7 @@ from repro.verify.invariants import (
     check_media_faults,
 )
 from repro.verify.scenario import FAMILIES, run_scenario
+from repro.verify.search import check_search_vs_grid
 from repro.verify.selftest import MUTATIONS, run_selftest
 
 __all__ = [
@@ -63,6 +64,7 @@ __all__ = [
     "check_media_faults",
     "check_monitor",
     "check_parallel",
+    "check_search_vs_grid",
     "check_shard_result",
     "fuzz",
     "generate_configs",

@@ -354,10 +354,12 @@ class TraceReplayer:
     sim, device:
         Simulation context and target device.
     records:
-        A :class:`Trace` (batched fast path), an iterable of
-        :class:`Trace` chunks (streamed batched path), or an iterable
-        of record-like objects sorted-or-not by arrival time (legacy
-        path; sorted here).
+        A :class:`Trace` (batched fast path), a
+        :class:`~repro.traces.store.StoredTrace` (streamed zero-copy
+        from its memory-mapped chunk files — one chunk resident at a
+        time), an iterable of :class:`Trace` chunks (streamed batched
+        path), or an iterable of record-like objects sorted-or-not by
+        arrival time (legacy path; sorted here).
     time_scale:
         Multiplier on inter-arrival times (e.g. 0.5 replays twice as fast).
     wrap_lbn:
@@ -388,8 +390,14 @@ class TraceReplayer:
         self._cursor: Optional[_ReplayCursor] = None
         self.records: Optional[List] = None
         self._chunks: Optional[Iterable[Trace]] = None
+        from repro.traces.store import StoredTrace
+
         if isinstance(records, Trace):
             self._chunks = (records,)
+        elif isinstance(records, StoredTrace):
+            # Explicit branch so no chunk is mapped (or digest-checked)
+            # until the replay actually starts.
+            self._chunks = records.iter_chunks()
         else:
             iterator = iter(records)
             first = next(iterator, None)

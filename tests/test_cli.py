@@ -78,6 +78,68 @@ class TestOptimize:
                 "optimize", "--synthetic", "MSRusr2", "--drive", "flopotron",
             ])
 
+    def test_grid_method_matches_search(self, capsys):
+        argv = [
+            "optimize", "--synthetic", "MSRusr2", "--duration", "900",
+            "--goals-ms", "2.0",
+        ]
+        assert main(argv) == 0
+        search_out = capsys.readouterr().out
+        assert main(argv + ["--method", "grid"]) == 0
+        grid_out = capsys.readouterr().out
+        assert search_out == grid_out
+
+
+class TestCorpus:
+    @pytest.fixture()
+    def corpus_dir(self, tmp_path):
+        path = tmp_path / "corpus"
+        assert main([
+            "corpus", "build", "--out", str(path),
+            "--names", "MSRusr2", "--duration", "600",
+            "--chunk-requests", "1024",
+        ]) == 0
+        return path
+
+    def test_build_and_list(self, corpus_dir, capsys):
+        capsys.readouterr()
+        assert main(["corpus", "list", str(corpus_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "MSRusr2" in out
+
+    def test_verify_detects_corruption(self, corpus_dir, capsys):
+        assert main(["corpus", "verify", str(corpus_dir)]) == 0
+        chunk = corpus_dir / "MSRusr2" / "chunk-000000.bin"
+        blob = bytearray(chunk.read_bytes())
+        blob[10] ^= 0xFF
+        chunk.write_bytes(bytes(blob))
+        assert main(["corpus", "verify", str(corpus_dir)]) == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_not_a_corpus_exits_2(self, tmp_path, capsys):
+        assert main(["corpus", "list", str(tmp_path)]) == 2
+        assert "not a trace corpus" in capsys.readouterr().err
+
+    def test_optimize_corpus_json(self, corpus_dir, capsys):
+        import json
+
+        assert main([
+            "optimize", "--corpus", str(corpus_dir),
+            "--goals-ms", "2.0", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        row = payload["entries"]["MSRusr2"]["goals"]["2"]
+        assert row["throughput_mbps"] > 0
+        assert row["achieved_slowdown_ms"] <= 2.0
+
+    def test_optimize_unknown_entry_exits_2(self, corpus_dir, capsys):
+        assert main([
+            "optimize", "--corpus", str(corpus_dir),
+            "--entries", "nosuch", "--goals-ms", "2.0",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "unknown corpus entry" in err and "MSRusr2" in err
+
 
 class TestThroughput:
     def test_sequential(self, capsys):

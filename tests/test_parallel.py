@@ -449,3 +449,70 @@ class TestCachePoisoning:
             workers=1, cache=ResultCache(tmp_path)
         ).map(run_scenario, [params])
         assert outcome_signature(recomputed[0]) == outcome_signature(clean[0])
+
+
+class TestCacheSizeBudget:
+    """max_bytes turns the cache into an LRU bounded by disk footprint."""
+
+    def _fill(self, cache, count, payload=2048):
+        keys = []
+        for i in range(count):
+            key = cache.key(_square, {"x": i, "pad": "p" * 8})
+            cache.put(key, b"\x00" * payload)
+            keys.append(key)
+        return keys
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, 8)
+        assert cache.lru_evictions == 0
+        assert sum(1 for _ in tmp_path.glob("*/*.pkl")) == 8
+
+    def test_put_evicts_oldest_first(self, tmp_path):
+        import os
+        import time
+
+        cache = ResultCache(tmp_path, max_bytes=6 * 2200)
+        keys = self._fill(cache, 4)
+        # Make access order unambiguous regardless of filesystem
+        # timestamp granularity.
+        for age, key in enumerate(keys):
+            os.utime(cache._path(key), (age, age))
+        self._fill(cache, 4, payload=4096)  # push well past the budget
+        assert cache.lru_evictions > 0
+        # The oldest entry went first; the newest write always survives.
+        hit0, _ = cache.get(keys[0])
+        assert not hit0
+
+    def test_read_refreshes_lru_position(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path, max_bytes=1 << 20)
+        keys = self._fill(cache, 3)
+        for age, key in enumerate(keys):
+            os.utime(cache._path(key), (age, age))
+        hit, _ = cache.get(keys[0])  # refresh the oldest entry's atime
+        assert hit
+        stats = [cache._path(k).stat().st_atime for k in keys]
+        assert stats[0] > stats[1]  # no longer the eviction candidate
+
+    def test_just_written_entry_never_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=64)  # smaller than one entry
+        key = cache.key(_square, {"x": 1})
+        cache.put(key, b"\x00" * 4096)
+        hit, value = cache.get(key)
+        assert hit and value == b"\x00" * 4096
+
+    def test_budget_counts_in_telemetry(self, tmp_path):
+        from repro.telemetry import Recorder
+
+        recorder = Recorder(wall_time=False)
+        cache = ResultCache(tmp_path, max_bytes=4096, telemetry=recorder)
+        self._fill(cache, 6)
+        assert cache.lru_evictions > 0
+        counters = recorder.metrics.snapshot()["counters"]
+        assert counters["cache.lru_evictions"] == cache.lru_evictions
+
+    def test_invalid_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultCache(tmp_path, max_bytes=0)

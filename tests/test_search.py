@@ -1,0 +1,240 @@
+"""Successive-halving parameter search (repro.core.search) and its
+differential safety contract vs the exhaustive grid
+(repro.verify.search).
+
+The search is a pruning optimisation: same answer (within the
+documented 1% throughput tolerance — identical in practice), a
+fraction of the simulation effort, and bit-identical reruns under the
+same seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.service_model import ScrubServiceModel
+from repro.analysis.slowdown import SIM_METER
+from repro.core.optimizer import ScrubParameterOptimizer
+from repro.core.search import (
+    MIN_RUNG_SAMPLE,
+    SearchOutcome,
+    SuccessiveHalvingSearch,
+)
+from repro.disk.models import PRESETS
+from repro.traces import generate_trace
+from repro.traces.idle import idle_intervals_from_trace
+from repro.verify import DifferentialMismatch, check_search_vs_grid
+from repro.verify.search import DEFAULT_SEARCH_TOLERANCE
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """One seeded catalog workload's tuning inputs (module-cached)."""
+    trace = generate_trace("MSRusr2", duration=1800, seed=0)
+    _, durations = idle_intervals_from_trace(trace)
+    model = ScrubServiceModel.from_spec(PRESETS["ultrastar"]())
+    return {
+        "durations": durations,
+        "total_requests": len(trace),
+        "span": trace.duration,
+        "service_model": model,
+    }
+
+
+GOAL = 0.002  # 2ms mean slowdown
+
+
+class TestSearch:
+    def test_matches_exhaustive_grid(self, workload):
+        grid = ScrubParameterOptimizer(**workload).optimize(GOAL)
+        outcome = SuccessiveHalvingSearch(**workload).search(GOAL)
+        assert outcome.best.request_bytes == grid.request_bytes
+        assert outcome.best.threshold == grid.threshold
+        assert outcome.best.throughput == grid.throughput
+
+    def test_same_seed_rerun_bit_identical(self, workload):
+        a = SuccessiveHalvingSearch(**workload, seed=42).search(GOAL)
+        b = SuccessiveHalvingSearch(**workload, seed=42).search(GOAL)
+        assert a.best == b.best
+        assert a.rungs == b.rungs  # same subsamples, sims, survivors
+        assert a.sims == b.sims
+
+    def test_seed_changes_subsample_not_answer(self, workload):
+        a = SuccessiveHalvingSearch(**workload, seed=1).search(GOAL)
+        b = SuccessiveHalvingSearch(**workload, seed=2).search(GOAL)
+        assert a.best.request_bytes == b.best.request_bytes
+        assert a.best.throughput == b.best.throughput
+
+    def test_costs_a_fraction_of_the_grid(self, workload):
+        before = SIM_METER.snapshot()
+        ScrubParameterOptimizer(**workload).optimize(GOAL, prune=False)
+        mid = SIM_METER.snapshot()
+        outcome = SuccessiveHalvingSearch(**workload).search(GOAL)
+        grid_evals = mid["interval_evals"] - before["interval_evals"]
+        assert outcome.interval_evals * 5 <= grid_evals
+
+    def test_effort_accounting_via_sim_meter(self, workload):
+        outcome = SuccessiveHalvingSearch(**workload).search(GOAL)
+        assert isinstance(outcome, SearchOutcome)
+        assert outcome.sims > 0 and outcome.interval_evals > 0
+        assert outcome.rungs  # at least one elimination rung ran
+        rung0 = outcome.rungs[0]
+        assert rung0.sample >= min(
+            MIN_RUNG_SAMPLE, len(workload["durations"])
+        )
+        # survivors shrink monotonically toward the final rung
+        for prev, nxt in zip(outcome.rungs, outcome.rungs[1:]):
+            assert set(nxt.arms) == set(prev.survivors)
+            assert len(nxt.survivors) <= len(prev.survivors)
+
+    def test_invalid_goal_raises_like_the_grid(self, workload):
+        with pytest.raises(ValueError, match="slowdown_goal"):
+            ScrubParameterOptimizer(**workload).optimize(0.0)
+        with pytest.raises(ValueError, match="slowdown_goal"):
+            SuccessiveHalvingSearch(**workload).search(0.0)
+
+    def test_extreme_goal_still_matches_the_grid(self, workload):
+        """A goal near float resolution forces every rung to the
+        max-threshold corner; search and grid must still agree."""
+        goal = 1e-9
+        grid = ScrubParameterOptimizer(**workload).optimize(goal)
+        outcome = SuccessiveHalvingSearch(**workload).search(goal)
+        assert outcome.best.achieved_slowdown <= goal
+        assert outcome.best.throughput >= grid.throughput * (
+            1 - DEFAULT_SEARCH_TOLERANCE
+        )
+
+    def test_schedule_validation(self, workload):
+        with pytest.raises(ValueError, match="eta"):
+            SuccessiveHalvingSearch(**workload, eta=1)
+        with pytest.raises(ValueError, match="keep_min"):
+            SuccessiveHalvingSearch(**workload, keep_min=0)
+        with pytest.raises(ValueError, match="increasing"):
+            SuccessiveHalvingSearch(**workload, rung_fractions=(0.5, 0.1))
+        with pytest.raises(ValueError, match="iteration counts"):
+            SuccessiveHalvingSearch(**workload, rung_iterations=0)
+
+    def test_tiny_sample_degenerates_to_exact_search(self, workload):
+        """With fewer intervals than MIN_RUNG_SAMPLE every rung sees the
+        full sample, so the search is the grid restricted to survivors."""
+        small = {**workload, "durations": workload["durations"][:512]}
+        grid = ScrubParameterOptimizer(**small).optimize(GOAL)
+        outcome = SuccessiveHalvingSearch(**small).search(GOAL)
+        assert outcome.best.throughput >= grid.throughput * (
+            1 - DEFAULT_SEARCH_TOLERANCE
+        )
+
+
+class TestSearchDifferential:
+    def test_contract_holds_on_seeded_workload(self, workload):
+        report = check_search_vs_grid(slowdown_goal=GOAL, **workload)
+        assert report["speedup"] >= 5.0
+        assert report["grid"].request_bytes == (
+            report["search"].best.request_bytes
+        )
+
+    def test_violation_is_reported_as_mismatch(self, workload, monkeypatch):
+        # Sabotage the schedule the checker builds (keep only 1 arm
+        # from a 16-interval glance at the sample, no safety margin):
+        # the contract must be able to actually fail.
+        import repro.verify.search as vs
+
+        def sabotaged(*args, **kwargs):
+            kwargs.update(
+                rung_fractions=(1 / 512,), keep_min=1, eta=64,
+                min_sample=16, rung_iterations=1,
+            )
+            return SuccessiveHalvingSearch(*args, **kwargs)
+
+        monkeypatch.setattr(vs, "SuccessiveHalvingSearch", sabotaged)
+        for seed in range(5):
+            try:
+                vs.check_search_vs_grid(
+                    slowdown_goal=GOAL, seed=seed, **workload
+                )
+            except DifferentialMismatch as exc:
+                assert exc.axis == "search"
+                return
+        pytest.skip("sabotaged schedule still found the optimum (5 seeds)")
+
+    def test_runner_path_shares_cache_with_grid(self, workload, tmp_path):
+        from repro.parallel import ResultCache, SweepRunner
+
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(workers=0, cache=cache)
+        ScrubParameterOptimizer(**workload).optimize(GOAL, runner=runner)
+        misses_after_grid = cache.misses
+        outcome = SuccessiveHalvingSearch(**workload).search(
+            GOAL, runner=runner
+        )
+        # the final rung's tasks are grid tasks: all served from cache
+        assert cache.misses == misses_after_grid
+        assert cache.hits > 0
+        grid = ScrubParameterOptimizer(**workload).optimize(GOAL)
+        assert outcome.best.request_bytes == grid.request_bytes
+
+
+def _autotune_stack():
+    from repro.core import SequentialScrub
+    from repro.core.policies import WaitingScrubber
+    from repro.disk import Drive, hitachi_ultrastar_15k450
+    from repro.sched import BlockDevice, NoopScheduler
+    from repro.sim import Simulation
+
+    sim = Simulation()
+    device = BlockDevice(
+        sim,
+        Drive(hitachi_ultrastar_15k450(), cache_enabled=False),
+        NoopScheduler(),
+    )
+    scrubber = WaitingScrubber(
+        sim, device, SequentialScrub(), threshold=0.5, request_bytes=65536
+    )
+    return sim, device, scrubber
+
+
+class TestAutoTunerSearch:
+    #: Cheap two-point service model, as in test_autotune.py.
+    SERVICE = ScrubServiceModel([65536, 4 * 1024 * 1024], [0.005, 0.045])
+
+    def _run_tuner(self, method):
+        from repro.core.autotune import AutoTuner
+        from repro.disk import DiskCommand
+        from repro.sched import IORequest
+        from repro.sim import RandomStreams
+
+        sim, device, scrubber = _autotune_stack()
+        scrubber.start()
+        rng = RandomStreams(seed=5).get("fg")
+
+        def foreground():
+            for _ in range(2000):
+                done = device.submit(IORequest(DiskCommand.read(0, 8)))
+                yield done
+                yield sim.timeout(rng.exponential(0.05))
+
+        sim.process(foreground())
+        tuner = AutoTuner(
+            sim, scrubber, self.SERVICE, slowdown_goal=0.001,
+            retune_interval=5.0, min_samples=50, method=method,
+        )
+        tuner.start()
+        sim.run(until=30.0)
+        return tuner
+
+    def test_autotune_method_search_matches_grid(self):
+        grid = self._run_tuner("grid")
+        search = self._run_tuner("search")
+        assert grid.retunes >= 1 and search.retunes == grid.retunes
+        a, b = grid.history[-1], search.history[-1]
+        assert b.request_bytes == a.request_bytes
+        assert b.throughput == a.throughput
+
+    def test_autotune_rejects_unknown_method(self):
+        from repro.core.autotune import AutoTuner
+
+        sim, device, scrubber = _autotune_stack()
+        with pytest.raises(ValueError, match="method"):
+            AutoTuner(
+                sim, scrubber, self.SERVICE, slowdown_goal=GOAL,
+                method="annealing",
+            )
