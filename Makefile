@@ -4,12 +4,14 @@
 PYTHON ?= python
 TIMEOUT ?= 120
 
-.PHONY: tier1 smoke bench bench-telemetry bench-replay bench-verify bench-kernel bench-fleet bench-obs bench-corpus verify-fuzz fleet-smoke check
+.PHONY: tier1 smoke bench bench-telemetry bench-replay bench-verify bench-kernel bench-fleet bench-obs bench-corpus verify-fuzz fleet-smoke serve-smoke test-service check
 
 # The ROADMAP tier-1 verify, with a per-test wall-clock limit so a
 # wedged test fails fast instead of hanging CI (tools/pytest_timeout_lite).
+# Service tests (marker 'service': real HTTP servers, SIGKILL drills)
+# run separately via test-service to keep this loop fast.
 tier1:
-	PYTHONPATH=src:. $(PYTHON) -m pytest -x -q \
+	PYTHONPATH=src:. $(PYTHON) -m pytest -x -q -m "not service" \
 		-p tools.pytest_timeout_lite --lite-timeout $(TIMEOUT)
 
 # End-to-end smoke of the fault-injection lifecycle on a tiny fault
@@ -72,6 +74,19 @@ verify-fuzz:
 # graceful degradation with explicit completeness).  Deterministic.
 fleet-smoke:
 	PYTHONPATH=src $(PYTHON) tools/fleet_smoke.py
+
+# Orchestration-service contract + concurrency + streaming tests
+# (everything carrying the 'service' pytest marker).
+test-service:
+	PYTHONPATH=src:. $(PYTHON) -m pytest -q -m service \
+		-p tools.pytest_timeout_lite --lite-timeout $(TIMEOUT)
+
+# Orchestration-service smoke: contract against a real 'repro serve'
+# subprocess, duplicate-submit dedup, SIGKILL-and-restart resume
+# (bit-identical metrics), cooperative cancel, and byte-identical
+# NDJSON event streaming.  Deterministic.
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) tools/serve_smoke.py
 
 # Fleet-campaign throughput + resume overhead (writes BENCH_PR7.json).
 bench-fleet:

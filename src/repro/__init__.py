@@ -52,7 +52,7 @@ from repro.sim import Simulation
 from repro.telemetry import Recorder, TelemetrySink
 from repro.traces import Trace, generate_trace
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "ARPolicy",

@@ -863,17 +863,48 @@ def _parse_policy(text: str, index: int):
         raise SystemExit(f"--policy {text!r}: {exc}")
 
 
+def _campaign_spec_from_args(args, command: str):
+    """Build a validated CampaignSpec from the shared fleet/submit flags."""
+    from repro.fleet import CampaignSpec, DriveClass, FleetSpec
+
+    policy_texts = args.policy or ["sequential@168", "staggered:128@168"]
+    policies = tuple(
+        _parse_policy(text, index) for index, text in enumerate(policy_texts)
+    )
+    names = [policy.name for policy in policies]
+    if len(set(names)) != len(names):
+        raise SystemExit(f"{command}: duplicate policies after parsing: {names}")
+    try:
+        fleet = FleetSpec(
+            groups=args.groups,
+            disks_per_group=args.disks,
+            raid_level=args.raid,
+            mttr_hours=args.mttr_hours,
+            spare_delay_hours=args.spare_delay_hours,
+            classes=(
+                DriveClass(
+                    preset=args.drive,
+                    mttf_hours=args.mttf_hours,
+                    lse_burst_rate_per_hour=args.lse_rate,
+                ),
+            ),
+        )
+        return CampaignSpec(
+            fleet=fleet,
+            policies=policies,
+            mission_years=args.mission_years,
+            seed=args.seed,
+            shards=args.shards,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"{command}: {exc}")
+
+
 def cmd_fleet(args) -> int:
     import json
     import os
 
-    from repro.fleet import (
-        CampaignRunner,
-        CampaignSpec,
-        DriveClass,
-        FleetSpec,
-        campaign_digest,
-    )
+    from repro.fleet import CampaignRunner, campaign_digest
     from repro.parallel.supervise import RetryPolicy
     from repro.verify import InvariantViolation
 
@@ -892,37 +923,9 @@ def cmd_fleet(args) -> int:
             "(nothing to resume; drop --resume to start fresh)"
         )
 
-    policy_texts = args.policy or ["sequential@168", "staggered:128@168"]
-    policies = tuple(
-        _parse_policy(text, index) for index, text in enumerate(policy_texts)
-    )
-    names = [policy.name for policy in policies]
-    if len(set(names)) != len(names):
-        raise SystemExit(f"fleet: duplicate policies after parsing: {names}")
-    try:
-        fleet = FleetSpec(
-            groups=args.groups,
-            disks_per_group=args.disks,
-            raid_level=args.raid,
-            mttr_hours=args.mttr_hours,
-            spare_delay_hours=args.spare_delay_hours,
-            classes=(
-                DriveClass(
-                    preset=args.drive,
-                    mttf_hours=args.mttf_hours,
-                    lse_burst_rate_per_hour=args.lse_rate,
-                ),
-            ),
-        )
-        spec = CampaignSpec(
-            fleet=fleet,
-            policies=policies,
-            mission_years=args.mission_years,
-            seed=args.seed,
-            shards=args.shards,
-        )
-    except ValueError as exc:
-        raise SystemExit(f"fleet: {exc}")
+    spec = _campaign_spec_from_args(args, "fleet")
+    fleet = spec.fleet
+    policies = spec.policies
 
     recorder = None
     if args.telemetry:
@@ -1076,6 +1079,157 @@ def cmd_report(args) -> int:
         f"{len(data.get('events') or [])} events)"
     )
     return 0
+
+
+def cmd_serve(args) -> int:
+    import time
+
+    from repro.service import CampaignService
+
+    service = CampaignService(
+        args.data_dir,
+        host=args.host,
+        port=args.port,
+        max_jobs=args.max_jobs,
+        workers=args.workers,
+        client_quota=args.client_quota,
+        task_timeout=args.task_timeout,
+        max_attempts=args.max_attempts,
+        status_interval=args.status_interval,
+    )
+    recovered = service.queue.recovered
+    if recovered:
+        print(
+            f"serve: re-queued {len(recovered)} job(s) left running by a "
+            f"previous service: {', '.join(j[:12] for j in recovered)}"
+        )
+    service.start()
+    counts = service.queue.counts()
+    print(
+        f"serve: listening on {service.url} "
+        f"(data {service.data_dir}, {args.max_jobs} campaign slot(s), "
+        f"{args.workers} worker(s)/campaign); "
+        f"{counts['queued']} queued, {counts['done']} done"
+    )
+    try:
+        while True:
+            time.sleep(3600.0)
+    except KeyboardInterrupt:
+        print("serve: draining (running campaigns checkpoint and re-queue)")
+        return 0
+    finally:
+        service.stop()
+
+
+def cmd_submit(args) -> int:
+    import json
+
+    from repro.fleet import spec_to_dict
+    from repro.service import ServiceClient, ServiceTimeout
+
+    if args.status:
+        return cmd_submit_status(args)
+    if args.spec_json:
+        try:
+            with open(args.spec_json, encoding="utf-8") as handle:
+                spec_dict = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"submit: cannot read {args.spec_json}: {exc}")
+    else:
+        spec_dict = spec_to_dict(_campaign_spec_from_args(args, "submit"))
+    client = ServiceClient(args.url, timeout=args.timeout, client=args.client)
+    try:
+        status, payload = client.submit(spec_dict)
+    except OSError as exc:
+        raise SystemExit(f"submit: cannot reach {args.url}: {exc}")
+    if status not in (200, 201):
+        raise SystemExit(
+            f"submit: rejected ({status}): {payload.get('error', payload)}"
+        )
+    job = payload["job"]
+    verb = "submitted" if payload["created"] else "already known"
+    print(
+        f"submit: campaign {job['id'][:12]} {verb} "
+        f"(state {job['state']}, {job['shards_total']} shards)"
+    )
+    if not args.wait:
+        print(f"submit: poll with: repro submit --url {args.url} "
+              f"--status {job['id']}")
+        return 0
+    try:
+        final = client.wait(job["id"], timeout=args.timeout)
+    except ServiceTimeout as exc:
+        raise SystemExit(f"submit: {exc}")
+    print(f"submit: campaign {job['id'][:12]} -> {final['state']}")
+    if final["state"] == "done":
+        metrics = final["result"]["metrics"]
+        print(f"{'policy':<22}{'losses':>8}{'P(loss)':>10}")
+        for policy in metrics["policies"]:
+            print(
+                f"{policy['name']:<22}{policy['losses']:>8}"
+                f"{policy['p_loss_mission']:>10.4f}"
+            )
+        print(f"completeness {metrics['completeness']:.3f}")
+    elif final.get("error"):
+        print(f"submit: {final['error']}", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(final, handle, indent=2, sort_keys=True)
+        print(f"wrote job record to {args.json}")
+    return 0 if final["state"] == "done" else 3
+
+
+def cmd_submit_status(args) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        status, payload = client.job(args.status)
+    except OSError as exc:
+        raise SystemExit(f"submit: cannot reach {args.url}: {exc}")
+    if status != 200:
+        raise SystemExit(
+            f"submit: {status}: {payload.get('error', payload)}"
+        )
+    job = payload["job"]
+    print(
+        f"campaign {job['id'][:12]}: {job['state']}, "
+        f"{job['attempts']} attempt(s), client {job['client']}"
+    )
+    live = payload.get("status")
+    if live:
+        progress = live.get("progress_live", live.get("progress"))
+        if progress is not None:
+            print(f"progress {progress:.0%}")
+    if job.get("error"):
+        print(f"error: {job['error']}")
+    return 0
+
+
+def _add_campaign_spec_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags that define a campaign spec, shared by fleet and submit."""
+    parser.add_argument("--groups", type=int, default=10_000)
+    parser.add_argument("--disks", type=int, default=8, help="drives per group")
+    parser.add_argument(
+        "--raid", choices=("raid5", "raid1", "none"), default="raid5"
+    )
+    parser.add_argument("--drive", default="ultrastar", help="drive preset")
+    parser.add_argument("--mttf-hours", type=float, default=1.0e5)
+    parser.add_argument("--mttr-hours", type=float, default=24.0)
+    parser.add_argument("--spare-delay-hours", type=float, default=4.0)
+    parser.add_argument(
+        "--lse-rate", type=float, default=1e-4,
+        help="latent-sector-error bursts per drive-hour",
+    )
+    parser.add_argument(
+        "--policy", action="append",
+        default=None, metavar="ALG[:REGIONS][@PERIOD_H]",
+        help="scrub policy under evaluation (repeatable; default "
+        "sequential@168 and staggered:128@168)",
+    )
+    parser.add_argument("--mission-years", type=float, default=10.0)
+    parser.add_argument("--shards", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=0)
 
 
 def _add_kernel_flag(parser: argparse.ArgumentParser, default="reference") -> None:
@@ -1464,28 +1618,7 @@ def build_parser() -> argparse.ArgumentParser:
             "  degraded (completeness < 1 after retries)."
         ),
     )
-    fleet.add_argument("--groups", type=int, default=10_000)
-    fleet.add_argument("--disks", type=int, default=8, help="drives per group")
-    fleet.add_argument(
-        "--raid", choices=("raid5", "raid1", "none"), default="raid5"
-    )
-    fleet.add_argument("--drive", default="ultrastar", help="drive preset")
-    fleet.add_argument("--mttf-hours", type=float, default=1.0e5)
-    fleet.add_argument("--mttr-hours", type=float, default=24.0)
-    fleet.add_argument("--spare-delay-hours", type=float, default=4.0)
-    fleet.add_argument(
-        "--lse-rate", type=float, default=1e-4,
-        help="latent-sector-error bursts per drive-hour",
-    )
-    fleet.add_argument(
-        "--policy", action="append",
-        default=None, metavar="ALG[:REGIONS][@PERIOD_H]",
-        help="scrub policy under evaluation (repeatable; default "
-        "sequential@168 and staggered:128@168)",
-    )
-    fleet.add_argument("--mission-years", type=float, default=10.0)
-    fleet.add_argument("--shards", type=int, default=16)
-    fleet.add_argument("--seed", type=int, default=0)
+    _add_campaign_spec_flags(fleet)
     fleet.add_argument(
         "--workers", type=int, default=0,
         help="supervised worker processes (0/1 = serial in-process)",
@@ -1561,6 +1694,101 @@ def build_parser() -> argparse.ArgumentParser:
         help="output HTML path (default <OBS_DIR>/report.html)",
     )
     report.set_defaults(func=cmd_report)
+
+    serve = sub.add_parser(
+        "serve",
+        help="campaign orchestration service: async job API over the "
+        "fleet runner",
+        description=(
+            "Run the orchestration service: a persistent content-addressed "
+            "job queue (duplicate submissions are answered from the "
+            "existing job), a fair-share scheduler feeding supervised "
+            "CampaignRunner slots, and an HTTP API — POST/GET /campaigns, "
+            "NDJSON event streaming, HTML reports, DELETE to cancel.  "
+            "Kill -9 the service and restart it on the same --data-dir: "
+            "interrupted campaigns re-queue and resume from their shard "
+            "checkpoints bit-identically."
+        ),
+    )
+    serve.add_argument(
+        "--data-dir", metavar="DIR", default="service-data",
+        help="service state root: job records + per-campaign journals "
+        "(default %(default)s)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8642,
+        help="listen port (0 = ephemeral; default %(default)s)",
+    )
+    serve.add_argument(
+        "--max-jobs", type=int, default=1,
+        help="campaigns executing concurrently (default %(default)s)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes per campaign (0/1 = serial shards)",
+    )
+    serve.add_argument(
+        "--client-quota", type=int, default=0,
+        help="max running jobs per client, 0 = unlimited",
+    )
+    serve.add_argument(
+        "--task-timeout", type=float, default=None,
+        help="per-shard deadline in seconds",
+    )
+    serve.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="attempts per shard before it is abandoned (default 3)",
+    )
+    serve.add_argument(
+        "--status-interval", type=float, default=2.0,
+        help="seconds between status.json rewrites (default %(default)s)",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a campaign to a running 'repro serve' and optionally "
+        "wait for its metrics",
+        description=(
+            "Build a campaign spec from the same flags as 'repro fleet' "
+            "(or --spec-json FILE) and POST it to the service.  "
+            "Submitting the same spec twice returns the same job.  "
+            "--wait polls until the job is terminal and prints the "
+            "per-policy loss table; --status ID just reports a job."
+        ),
+    )
+    _add_campaign_spec_flags(submit)
+    submit.add_argument(
+        "--url", default="http://127.0.0.1:8642",
+        help="service base URL (default %(default)s)",
+    )
+    submit.add_argument(
+        "--client", default="cli",
+        help="client identity for fair-share / quotas (default %(default)s)",
+    )
+    submit.add_argument(
+        "--spec-json", metavar="FILE", default=None,
+        help="submit this campaign-spec JSON file instead of building "
+        "one from flags",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes and print its metrics",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=3600.0,
+        help="--wait timeout in seconds (default %(default)s)",
+    )
+    submit.add_argument(
+        "--status", metavar="JOB_ID", default=None,
+        help="report an existing job instead of submitting",
+    )
+    submit.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the final job record as JSON (with --wait)",
+    )
+    submit.set_defaults(func=cmd_submit)
 
     return parser
 

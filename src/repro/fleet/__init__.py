@@ -26,6 +26,7 @@ journal directory).
 """
 
 from repro.fleet.campaign import (
+    CampaignCancelled,
     CampaignResult,
     CampaignRunner,
     PolicyEstimate,
@@ -44,9 +45,12 @@ from repro.fleet.spec import (
     group_profile,
     group_seed,
     resolve_latent_windows,
+    spec_from_dict,
+    spec_to_dict,
 )
 
 __all__ = [
+    "CampaignCancelled",
     "CampaignJournal",
     "CampaignResult",
     "CampaignRunner",
@@ -64,5 +68,7 @@ __all__ = [
     "loss_rate_interval",
     "resolve_latent_windows",
     "simulate_group",
+    "spec_from_dict",
+    "spec_to_dict",
     "wilson_interval",
 ]

@@ -51,6 +51,7 @@ from repro.raid.reliability import (
 from repro.telemetry.metrics import merge_snapshots
 
 __all__ = [
+    "CampaignCancelled",
     "CampaignResult",
     "CampaignRunner",
     "PolicyEstimate",
@@ -58,6 +59,17 @@ __all__ = [
     "loss_rate_interval",
     "wilson_interval",
 ]
+
+
+class CampaignCancelled(RuntimeError):
+    """The campaign's ``should_stop`` signal fired mid-run.
+
+    Raised *after* every already-completed shard has been checkpointed
+    to the journal, so a cancelled campaign is always resumable: re-run
+    the same spec against the same journal and the landed shards are
+    cache hits.  The orchestration service maps this to the job state
+    ``cancelled``.
+    """
 
 
 def loss_rate_interval(
@@ -255,6 +267,13 @@ class CampaignRunner:
         worker heartbeat samples, and can never change a result — the
         differential oracle's ``monitor`` axis asserts campaign metrics
         are bit-identical with a monitor attached or not.
+    should_stop:
+        Optional zero-argument callable polled between shards (serial)
+        and by the supervision loop (parallel).  Returning ``True``
+        cancels the campaign: in-flight attempts are terminated, every
+        *completed* shard stays checkpointed, and :meth:`run` raises
+        :class:`CampaignCancelled`.  The orchestration service wires
+        this to the job queue's cancel flag.
     """
 
     def __init__(
@@ -271,6 +290,7 @@ class CampaignRunner:
         task: Optional[Callable] = None,
         on_shard: Optional[Callable[[int, dict], None]] = None,
         monitor=None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> None:
         self.spec = spec
         self.journal_dir = journal_dir
@@ -286,6 +306,7 @@ class CampaignRunner:
         self.task = task if task is not None else fleet_shard_task
         self.on_shard = on_shard
         self.monitor = monitor
+        self.should_stop = should_stop
 
     @staticmethod
     def shard_param_sets(spec: CampaignSpec) -> List[dict]:
@@ -354,9 +375,24 @@ class CampaignRunner:
             if self.on_shard is not None:
                 self.on_shard(shard_index, result)
 
+        def cancelled() -> bool:
+            return self.should_stop is not None and self.should_stop()
+
+        if remaining and cancelled():
+            raise CampaignCancelled(
+                f"campaign cancelled before start: {resumed} shard(s) "
+                f"already checkpointed, {len(remaining)} remaining"
+            )
+
         if remaining and self.workers <= 1:
             for params in remaining:
                 shard_index = params["shard_index"]
+                if cancelled():
+                    raise CampaignCancelled(
+                        f"campaign cancelled at shard {shard_index}: "
+                        f"{len(results)}/{len(param_sets)} shard(s) "
+                        "checkpointed"
+                    )
                 if monitor is not None:
                     monitor.shard_started(shard_index, attempt=1)
                 result = self.task(**params)
@@ -416,8 +452,16 @@ class CampaignRunner:
                         )
 
             outcomes = runner.map(
-                self.task, remaining, on_result=on_result, on_event=on_event
+                self.task, remaining, on_result=on_result, on_event=on_event,
+                should_stop=self.should_stop,
             )
+            if cancelled():
+                # Landed shards are journaled; in-flight attempts were
+                # terminated by the supervision loop.
+                raise CampaignCancelled(
+                    f"campaign cancelled: {len(results)}/{len(param_sets)} "
+                    "shard(s) checkpointed"
+                )
             for outcome, params in zip(outcomes, remaining):
                 if not outcome.ok:
                     failed.append(params["shard_index"])

@@ -25,8 +25,9 @@ its shorter exposure.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 import hashlib
 
@@ -44,6 +45,8 @@ __all__ = [
     "group_profile",
     "group_seed",
     "resolve_latent_windows",
+    "spec_from_dict",
+    "spec_to_dict",
 ]
 
 #: Seed-stream salts: disjoint derive_seed substreams so the fleet
@@ -280,6 +283,146 @@ def group_profile(
         lse_burst_rate_per_hour=cls.lse_burst_rate_per_hour,
         age_years=age,
     )
+
+
+# -- JSON round-trip ---------------------------------------------------------
+#
+# The orchestration service (repro.service) accepts campaign specs as
+# JSON over HTTP and persists them in its job queue.  The round-trip
+# must preserve the campaign digest exactly: a spec submitted over the
+# wire has to dedup against the same spec built in-process, and the
+# journal refuses digests that drift.  That is why ``spec_from_dict``
+# coerces every numeric field to its declared dataclass type — JSON has
+# no int/float distinction for whole numbers, but ``canonicalize``
+# does (``6`` and ``6.0`` hash differently).
+
+_FLOAT_FIELDS = frozenset(
+    {
+        "weight", "mttf_hours", "lse_burst_rate_per_hour", "age_years",
+        "wearout_per_year", "mttr_hours", "spare_delay_hours",
+        "age_spread_years", "period_hours", "burst_length",
+        "mission_years",
+    }
+)
+_OPTIONAL_FLOAT_FIELDS = frozenset({"latent_window_hours"})
+_INT_FIELDS = frozenset(
+    {"groups", "disks_per_group", "regions", "model_sectors", "seed", "shards"}
+)
+_STR_FIELDS = frozenset({"preset", "raid_level", "name", "algorithm"})
+
+
+def spec_to_dict(spec: CampaignSpec) -> dict:
+    """JSON-safe dict form of a campaign spec (see :func:`spec_from_dict`).
+
+    Pure data: nested dicts and lists of primitives only, so the result
+    survives ``json.dumps``/``loads`` and reconstructs to a spec with
+    the *same* :func:`campaign_digest`.
+    """
+    payload = dataclasses.asdict(spec)
+    payload["fleet"]["classes"] = [
+        dict(cls) for cls in payload["fleet"]["classes"]
+    ]
+    payload["policies"] = [dict(policy) for policy in payload["policies"]]
+    return payload
+
+
+def _coerce_field(cls_name: str, name: str, value: Any) -> Any:
+    """Coerce one JSON value to the field's declared spec type."""
+    label = f"{cls_name}.{name}"
+    if name in _FLOAT_FIELDS:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"{label} must be a number, got {value!r}")
+        return float(value)
+    if name in _OPTIONAL_FLOAT_FIELDS:
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"{label} must be a number or null, got {value!r}")
+        return float(value)
+    if name in _INT_FIELDS:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError(f"{label} must be an integer, got {value!r}")
+        return int(value)
+    if name in _STR_FIELDS:
+        if not isinstance(value, str):
+            raise ValueError(f"{label} must be a string, got {value!r}")
+        return value
+    raise ValueError(f"unknown field {label}")
+
+
+def _build(cls, data: Any, label: str, **overrides):
+    """Construct a spec dataclass from a JSON mapping, strictly.
+
+    Unknown keys are a :class:`ValueError` (the service maps that to
+    HTTP 400), never silently dropped — a typoed field that changed
+    nothing would otherwise dedup against the wrong campaign.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"{label} must be a JSON object, got {type(data).__name__}")
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(f"{label}: unknown fields {unknown}")
+    kwargs = dict(overrides)
+    for name, value in data.items():
+        if name in kwargs:
+            continue
+        kwargs[name] = _coerce_field(cls.__name__, name, value)
+    return cls(**kwargs)
+
+
+def spec_from_dict(data: Any) -> CampaignSpec:
+    """Reconstruct a :class:`CampaignSpec` from :func:`spec_to_dict` form.
+
+    Raises :class:`ValueError` on anything malformed — wrong shapes,
+    unknown fields, out-of-range values (the dataclass validators run
+    as usual).  Digest-stable: ``spec_from_dict(spec_to_dict(s))`` has
+    the same :func:`campaign_digest` as ``s``, including through a JSON
+    round-trip.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"campaign spec must be a JSON object, got {type(data).__name__}"
+        )
+    unknown = sorted(
+        set(data) - {"fleet", "policies", "mission_years", "seed", "shards"}
+    )
+    if unknown:
+        raise ValueError(f"campaign spec: unknown fields {unknown}")
+    missing = sorted({"fleet", "policies"} - set(data))
+    if missing:
+        raise ValueError(f"campaign spec: missing fields {missing}")
+    fleet_data = data.get("fleet", {})
+    if not isinstance(fleet_data, dict):
+        raise ValueError("fleet must be a JSON object")
+    classes_data = fleet_data.get("classes")
+    fleet_kwargs = {}
+    if classes_data is not None:
+        if not isinstance(classes_data, list) or not classes_data:
+            raise ValueError("fleet.classes must be a non-empty list")
+        fleet_kwargs["classes"] = tuple(
+            _build(DriveClass, cls, f"fleet.classes[{index}]")
+            for index, cls in enumerate(classes_data)
+        )
+    fleet = _build(
+        FleetSpec,
+        {k: v for k, v in fleet_data.items() if k != "classes"},
+        "fleet",
+        **fleet_kwargs,
+    )
+    spec_kwargs: dict = {"fleet": fleet}
+    policies_data = data.get("policies")
+    if policies_data is not None:
+        if not isinstance(policies_data, list) or not policies_data:
+            raise ValueError("policies must be a non-empty list")
+        spec_kwargs["policies"] = tuple(
+            _build(ScrubPolicySpec, policy, f"policies[{index}]")
+            for index, policy in enumerate(policies_data)
+        )
+    for name in ("mission_years", "seed", "shards"):
+        if name in data:
+            spec_kwargs[name] = _coerce_field("CampaignSpec", name, data[name])
+    return CampaignSpec(**spec_kwargs)
 
 
 def resolve_latent_windows(spec: CampaignSpec) -> Tuple[float, ...]:

@@ -13,7 +13,12 @@ Everything here is *passive*: campaign results are bit-identical with
 observability on or off.
 """
 
-from repro.obs.monitor import STATUS_VERSION, CampaignMonitor
+from repro.obs.monitor import (
+    STATUS_VERSION,
+    CampaignMonitor,
+    follow_events,
+    read_events_chunk,
+)
 from repro.obs.prometheus import prometheus_lines, write_textfile
 from repro.obs.report import build_report, load_obs_dir, render_html
 from repro.obs.spans import Span, SpanRecorder, span_id
@@ -27,7 +32,9 @@ __all__ = [
     "SpanRecorder",
     "WorkerProbe",
     "build_report",
+    "follow_events",
     "load_obs_dir",
+    "read_events_chunk",
     "peak_rss_kb",
     "prometheus_lines",
     "render_html",

@@ -40,7 +40,12 @@ from typing import Callable, Dict, List, Optional
 
 from .spans import SpanRecorder
 
-__all__ = ["CampaignMonitor", "STATUS_VERSION"]
+__all__ = [
+    "CampaignMonitor",
+    "STATUS_VERSION",
+    "follow_events",
+    "read_events_chunk",
+]
 
 STATUS_VERSION = 1
 
@@ -696,6 +701,53 @@ class CampaignMonitor:
             }
             for name, walls in sorted(totals.items())
         ]
+
+
+def read_events_chunk(path: str, offset: int = 0) -> "tuple[bytes, int]":
+    """Read new raw bytes of an ``events.jsonl`` from ``offset``.
+
+    Returns ``(chunk, new_offset)``; a missing file (the monitor has
+    not written its first event yet) is simply an empty chunk.  The
+    bytes are returned verbatim — the orchestration service's
+    ``GET /campaigns/{id}/events`` endpoint relays them unmodified,
+    which is what makes the streamed NDJSON *byte-identical* to the
+    on-disk log and lets a disconnected client resume from the offset
+    it already has.
+    """
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            chunk = handle.read()
+    except OSError:
+        return b"", offset
+    return chunk, offset + len(chunk)
+
+
+def follow_events(
+    path: str,
+    offset: int = 0,
+    poll: float = 0.1,
+    should_stop=None,
+):
+    """Yield event-log byte chunks as the file grows (a ``tail -f``).
+
+    Polls every ``poll`` seconds; the generator finishes when
+    ``should_stop()`` returns true *and* the log is drained, so a
+    consumer that stops the campaign still receives every event written
+    before the stop.  With no ``should_stop`` it follows forever —
+    callers stream it until they close the generator.
+    """
+    while True:
+        chunk, offset = read_events_chunk(path, offset)
+        if chunk:
+            yield chunk
+            continue
+        if should_stop is not None and should_stop():
+            chunk, offset = read_events_chunk(path, offset)
+            if chunk:
+                yield chunk
+            return
+        time.sleep(poll)
 
 
 def _json_num(value: float):

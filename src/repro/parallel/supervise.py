@@ -312,6 +312,7 @@ class SupervisedRunner:
         param_sets: Sequence[dict],
         on_result: Optional[Callable[[TaskOutcome], None]] = None,
         on_event: Optional[Callable[[str, int, dict], None]] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> List[TaskOutcome]:
         """Supervise ``fn(**params)`` for every parameter set.
 
@@ -327,6 +328,14 @@ class SupervisedRunner:
         ``heartbeat``, ``attempt_failed`` and ``attempt_ok``.  It is
         exception-isolated — a broken observer degrades monitoring,
         never supervision.
+
+        ``should_stop`` is a cooperative cancellation probe, polled
+        once per supervision sweep (so within ``_POLL`` seconds).  When
+        it returns ``True`` every in-flight attempt is terminated, the
+        queue is abandoned, and each unfinished task's outcome comes
+        back ``ok=False`` with ``error="cancelled"`` — ``on_result`` is
+        *not* fired for them, so checkpointing callers never journal a
+        cancelled task.  Already-finished tasks keep their results.
         """
         outcomes = [TaskOutcome(index=i) for i in range(len(param_sets))]
 
@@ -419,8 +428,13 @@ class SupervisedRunner:
                 queue.remove(entry)
             finish(outcome)
 
+        stopped = False
         try:
             while queue or running:
+                if should_stop is not None and should_stop():
+                    stopped = True
+                    self._count("supervise.cancelled_sweeps")
+                    break
                 now = time.monotonic()
                 # Launch everything ready while slots are free.
                 while len(running) < self.workers and queue:
@@ -563,4 +577,11 @@ class SupervisedRunner:
             # worker processes.
             for attempt in running.values():
                 self._terminate(attempt)
+        if stopped:
+            for outcome in outcomes:
+                if outcome.index in done:
+                    continue
+                outcome.ok = False
+                outcome.error = "cancelled"
+                self._count("supervise.cancelled")
         return outcomes

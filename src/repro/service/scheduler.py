@@ -1,0 +1,205 @@
+"""Dispatch loop: feeds queued jobs to :class:`CampaignRunner` pools.
+
+The scheduler owns the execution side of the service: a small
+dispatcher thread claims jobs from the :class:`~repro.service.queue.
+JobQueue` (fair-share, quota-capped) and hands each to a slot in a
+thread pool.  Each slot runs one campaign end to end — journal under
+``campaigns/<job id>``, a :class:`~repro.obs.monitor.CampaignMonitor`
+writing ``events.jsonl`` for the API's streaming endpoint, and the
+queue's cancel flag wired into the runner's ``should_stop`` poll.
+
+Outcome mapping::
+
+    CampaignResult            → done   (metrics payload on the job)
+    CampaignCancelled + flag  → cancelled
+    CampaignCancelled + drain → released back to queued (resume later)
+    anything else             → failed (message on the job)
+
+Because every campaign checkpoints per shard, none of these paths can
+duplicate work: a resumed or retried job replays completed shards from
+the journal as cache hits.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional
+
+from repro.fleet.campaign import CampaignCancelled, CampaignRunner
+from repro.fleet.spec import spec_from_dict
+from repro.obs.monitor import CampaignMonitor
+from repro.parallel.supervise import RetryPolicy
+from repro.service.queue import Job, JobQueue
+
+__all__ = ["CampaignScheduler"]
+
+
+class CampaignScheduler:
+    """Runs queued campaigns until stopped.
+
+    Parameters
+    ----------
+    queue:
+        The persistent job queue.
+    campaigns_dir:
+        Root for per-job journal + observability directories.
+    max_jobs:
+        Campaigns executing concurrently (thread-pool slots).
+    workers:
+        Worker processes *per campaign* (``0``/``1`` = serial shards).
+    client_quota:
+        Max running jobs per client (``0`` = unlimited).
+    poll:
+        Dispatcher sleep between empty claim attempts, seconds.
+    task_timeout, max_attempts:
+        Per-shard supervision knobs, forwarded to the runner.
+    status_interval:
+        Seconds between ``status.json`` rewrites (0 = every event).
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        campaigns_dir,
+        max_jobs: int = 1,
+        workers: int = 0,
+        client_quota: int = 0,
+        poll: float = 0.05,
+        task_timeout: Optional[float] = None,
+        max_attempts: int = 3,
+        status_interval: float = 0.0,
+    ) -> None:
+        self.queue = queue
+        self.campaigns_dir = str(campaigns_dir)
+        os.makedirs(self.campaigns_dir, exist_ok=True)
+        self.max_jobs = max(1, int(max_jobs))
+        self.workers = workers
+        self.client_quota = client_quota
+        self.poll = poll
+        self.task_timeout = task_timeout
+        self.max_attempts = max(1, int(max_attempts))
+        self.status_interval = status_interval
+        self._stop = threading.Event()
+        self._dispatcher: Optional[threading.Thread] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._inflight: Dict[str, object] = {}
+        self._inflight_lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._dispatcher is not None:
+            raise RuntimeError("scheduler already started")
+        self._stop.clear()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.max_jobs, thread_name_prefix="repro-campaign"
+        )
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    def stop(self, wait: bool = True) -> None:
+        """Drain: stop claiming, ask running campaigns to pause.
+
+        In-flight campaigns see ``should_stop`` fire, checkpoint what
+        they finished, and are *released* back to ``queued`` — the next
+        service picks them up as resumes.
+        """
+        self._stop.set()
+        if self._dispatcher is not None:
+            self._dispatcher.join()
+            self._dispatcher = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+            self._pool = None
+
+    def job_dir(self, job_id: str) -> str:
+        return os.path.join(self.campaigns_dir, job_id)
+
+    def obs_dir(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "obs")
+
+    def events_path(self, job_id: str) -> str:
+        return os.path.join(self.obs_dir(job_id), "events.jsonl")
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _slots_free(self) -> bool:
+        with self._inflight_lock:
+            return len(self._inflight) < self.max_jobs
+
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.claim_next(self.client_quota) if self._slots_free() else None
+            if job is None:
+                self._stop.wait(self.poll)
+                continue
+            with self._inflight_lock:
+                self._inflight[job.id] = self._pool.submit(self._execute, job)
+
+    def _execute(self, job: Job) -> None:
+        try:
+            self._run_job(job)
+        except Exception:  # pragma: no cover - defensive: keep the slot alive
+            try:
+                self.queue.finish(job.id, "failed", error=traceback.format_exc(limit=20))
+            except Exception:
+                pass
+        finally:
+            with self._inflight_lock:
+                self._inflight.pop(job.id, None)
+
+    def _run_job(self, job: Job) -> None:
+        spec = spec_from_dict(job.spec)
+        jdir = self.job_dir(job.id)
+        os.makedirs(jdir, exist_ok=True)
+        monitor = CampaignMonitor(
+            self.obs_dir(job.id), interval=self.status_interval
+        )
+
+        def should_stop() -> bool:
+            if self._stop.is_set():
+                return True
+            try:
+                return self.queue.get(job.id).cancel_requested
+            except KeyError:  # pragma: no cover - record vanished underneath us
+                return True
+
+        runner = CampaignRunner(
+            spec,
+            journal_dir=os.path.join(jdir, "journal"),
+            workers=self.workers,
+            task_timeout=self.task_timeout,
+            retry=RetryPolicy(max_attempts=self.max_attempts, seed=spec.seed),
+            monitor=monitor,
+            should_stop=should_stop,
+        )
+        try:
+            result = runner.run()
+        except CampaignCancelled as exc:
+            if self.queue.get(job.id).cancel_requested:
+                self.queue.finish(job.id, "cancelled", error=str(exc))
+            else:
+                # Drain, not cancel: hand the job back for a later resume.
+                self.queue.release(job.id)
+            return
+        except Exception as exc:
+            self.queue.finish(
+                job.id, "failed", error=f"{type(exc).__name__}: {exc}"
+            )
+            return
+        payload = {
+            "campaign_digest": job.id,
+            "metrics": result.metrics_dict(),
+            "shards_total": result.shards_total,
+            "shards_completed": result.shards_completed,
+            "shards_resumed": result.shards_resumed,
+            "shards_failed": result.shards_failed,
+            "completeness": result.completeness,
+            "supervision": dict(result.supervision),
+        }
+        self.queue.finish(job.id, "done", result=payload)
